@@ -1,0 +1,195 @@
+package core
+
+import "fmt"
+
+// This file implements constant-delay enumeration (Section 6.3,
+// Algorithm 1). Per connected component, the enumeration state is one
+// item per free q-tree node, in document order; a step advances the
+// deepest (document-order-maximal) item that is not last in its fit list
+// and re-fills the states after it with the first elements of their
+// lists. Across components the result is the cross product
+// ϕ(D) = ϕ1(D) × … × ϕj(D), enumerated as nested loops.
+//
+// Every step costs O(k) for a k-ary query: the delay is independent of
+// the database, as Theorem 3.2(a) requires.
+
+// compIter enumerates the result tuples of one component.
+type compIter struct {
+	c    *comp
+	cur  []*item // per free node (document order)
+	done bool
+}
+
+func newCompIter(c *comp) *compIter {
+	return &compIter{c: c, cur: make([]*item, len(c.freeNodes))}
+}
+
+// reset positions the iterator on the first result tuple (Algorithm 1,
+// lines 4–9). It reports false if the component's result is empty.
+func (ci *compIter) reset() bool {
+	if ci.c.startHead == nil {
+		ci.done = true
+		return false
+	}
+	ci.done = false
+	ci.cur[0] = ci.c.startHead
+	ci.fill(1)
+	return true
+}
+
+// fill sets states from (inclusive) onward to the first elements of
+// their lists (the Set function of Algorithm 1). Free parents precede
+// their free children in document order, so cur[parent] is valid when
+// cur[child] is filled; the parent being fit guarantees every child list
+// is nonempty.
+func (ci *compIter) fill(from int) {
+	for mu := from; mu < len(ci.c.freeNodes); mu++ {
+		nd := &ci.c.nodes[ci.c.freeNodes[mu]]
+		parent := ci.cur[ci.c.nodes[nd.parent].freeOrd]
+		head := parent.childHead[nd.slotInParent]
+		if head == nil {
+			panic(fmt.Sprintf("core: fit item has empty %s-list (corrupted structure)", nd.name))
+		}
+		ci.cur[mu] = head
+	}
+}
+
+// next advances to the next result tuple (the visit procedure), reporting
+// false at end of enumeration.
+func (ci *compIter) next() bool {
+	if ci.done {
+		return false
+	}
+	j := -1
+	for mu := len(ci.c.freeNodes) - 1; mu >= 0; mu-- {
+		if ci.cur[mu].next != nil {
+			j = mu
+			break
+		}
+	}
+	if j < 0 {
+		ci.done = true
+		return false
+	}
+	ci.cur[j] = ci.cur[j].next
+	ci.fill(j + 1)
+	return true
+}
+
+// Iterator enumerates ϕ(D) without repetition. It is created by
+// Engine.Iterator and invalidated by any subsequent update: calling Next
+// on a stale iterator panics. (The paper's "constant-time restart" after
+// an update is simply creating a fresh iterator.)
+type Iterator struct {
+	e       *Engine
+	version uint64
+	iters   []*compIter // one per component with free variables
+	out     []Value
+	state   iterState
+}
+
+type iterState uint8
+
+const (
+	iterFresh iterState = iota
+	iterActive
+	iterDone
+)
+
+// Iterator returns a new enumeration of the current query result.
+func (e *Engine) Iterator() *Iterator {
+	it := &Iterator{
+		e:       e,
+		version: e.version,
+		out:     make([]Value, len(e.heads)),
+	}
+	for _, c := range e.comps {
+		if c.hasFree {
+			it.iters = append(it.iters, newCompIter(c))
+		}
+	}
+	return it
+}
+
+// Next returns the next result tuple, or ok=false after the last tuple
+// (the paper's EOE message). The returned slice is reused by subsequent
+// calls; copy it if it must survive. Next panics if the engine has been
+// updated since the iterator was created.
+func (it *Iterator) Next() (tuple []Value, ok bool) {
+	if it.version != it.e.version {
+		panic("core: iterator used after update; restart enumeration with Engine.Iterator")
+	}
+	switch it.state {
+	case iterDone:
+		return nil, false
+	case iterFresh:
+		it.state = iterActive
+		// Boolean components gate the whole product.
+		for _, c := range it.e.comps {
+			if c.cStart == 0 {
+				it.state = iterDone
+				return nil, false
+			}
+		}
+		for _, ci := range it.iters {
+			if !ci.reset() {
+				it.state = iterDone
+				return nil, false
+			}
+		}
+		return it.assemble(), true
+	default:
+		// Odometer over component iterators: advance the last, carrying
+		// leftward; each carry resets the component to its first tuple.
+		for i := len(it.iters) - 1; i >= 0; i-- {
+			if it.iters[i].next() {
+				return it.assemble(), true
+			}
+			it.iters[i].reset()
+		}
+		it.state = iterDone
+		return nil, false
+	}
+}
+
+// assemble builds the output tuple from the per-component states: head
+// variable i lives at component heads[i].comp, free-node position
+// heads[i].freeOrd, and its value is that item's own constant (position
+// depth in the key).
+func (it *Iterator) assemble() []Value {
+	for i, loc := range it.e.heads {
+		ci := it.compIterFor(loc.comp)
+		item := ci.cur[loc.freeOrd]
+		it.out[i] = item.key[loc.depth]
+	}
+	return it.out
+}
+
+func (it *Iterator) compIterFor(comp int) *compIter {
+	return it.iters[it.e.freeIdx[comp]]
+}
+
+// Enumerate calls yield for every tuple of ϕ(D), in the fixed enumeration
+// order of Algorithm 1, until yield returns false. The slice passed to
+// yield is reused; copy it to retain it. For a Boolean query with
+// ϕ(D) = yes, yield is called once with an empty tuple.
+func (e *Engine) Enumerate(yield func(tuple []Value) bool) {
+	it := e.Iterator()
+	for t, ok := it.Next(); ok; t, ok = it.Next() {
+		if !yield(t) {
+			return
+		}
+	}
+}
+
+// Tuples returns the full query result as freshly allocated tuples —
+// convenient for tests and small results; for large results prefer
+// Iterator or Enumerate.
+func (e *Engine) Tuples() [][]Value {
+	var out [][]Value
+	e.Enumerate(func(t []Value) bool {
+		out = append(out, append([]Value(nil), t...))
+		return true
+	})
+	return out
+}

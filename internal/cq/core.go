@@ -1,0 +1,178 @@
+package cq
+
+// Core returns the homomorphic core of q: a minimal subquery ϕ' of q such
+// that there is a homomorphism from q to ϕ' but none from ϕ' to a proper
+// subquery of ϕ' (Section 3 of the paper). By Chandra–Merlin the core is
+// unique up to isomorphism and ϕ'(D) = ϕ(D) for every database D, which is
+// why Theorems 3.4 and 3.5 classify queries by the q-hierarchicality of
+// their cores.
+//
+// The computation iterates proper retractions: find an endomorphism of the
+// current query that fixes every free variable and whose image misses at
+// least one atom, restrict to the image, repeat. Core computation is
+// NP-hard in ||ϕ|| in general; queries are small, so backtracking search
+// is fine (data-complexity viewpoint).
+func Core(q *Query) *Query {
+	cur := q.DedupAtoms()
+	for {
+		next, shrunk := retract(cur)
+		if !shrunk {
+			return cur
+		}
+		cur = next
+	}
+}
+
+// retract searches for an endomorphism of q (fixing the head pointwise)
+// whose atom image is a proper subset of q's atoms. If found, it returns
+// the image subquery and true.
+func retract(q *Query) (*Query, bool) {
+	// Try to find an endomorphism avoiding each atom in turn. An
+	// endomorphism with a proper image must avoid some atom, so trying each
+	// "excluded" atom is complete.
+	for excl := range q.Atoms {
+		target := &Query{Name: q.Name, Head: q.Head}
+		for i, a := range q.Atoms {
+			if i != excl {
+				target.Atoms = append(target.Atoms, a)
+			}
+		}
+		h := Homomorphism(q, target)
+		if h == nil {
+			continue
+		}
+		// Build the image subquery: the atoms of q actually hit by h. (The
+		// image is contained in target's atoms, hence misses atom excl.)
+		img := &Query{Name: q.Name, Head: append([]string(nil), q.Head...)}
+		seen := make(map[string]bool)
+		for _, a := range q.Atoms {
+			ia := Atom{Rel: a.Rel, Args: make([]string, len(a.Args))}
+			for j, v := range a.Args {
+				ia.Args[j] = h[v]
+			}
+			if key := ia.String(); !seen[key] {
+				seen[key] = true
+				img.Atoms = append(img.Atoms, ia)
+			}
+		}
+		return img, true
+	}
+	return nil, false
+}
+
+// BooleanVersion returns ∃x1…∃xk ϕ: the query with all free variables
+// existentially quantified. Theorem 3.4 concerns the core of this query,
+// while Theorem 3.5 concerns the core of ϕ itself — the paper stresses the
+// difference with the example (Exx ∧ Exy ∧ Eyy).
+func BooleanVersion(q *Query) *Query {
+	b := q.Clone()
+	b.Name = q.displayName() + "_bool"
+	b.Head = nil
+	return b
+}
+
+// Endomorphisms calls fn for every endomorphism of q that fixes the head
+// pointwise, until fn returns false. The mapping passed to fn is reused
+// across calls; copy it if needed.
+func Endomorphisms(q *Query, fn func(h map[string]string) bool) {
+	byRel := make(map[string][]Atom)
+	for _, a := range q.Atoms {
+		byRel[a.Rel] = append(byRel[a.Rel], a)
+	}
+	h := make(map[string]string)
+	for _, x := range q.Head {
+		h[x] = x
+	}
+	var todo []string
+	for _, v := range q.Vars() {
+		if _, ok := h[v]; !ok {
+			todo = append(todo, v)
+		}
+	}
+	vars := q.Vars()
+	stop := false
+	var rec func(i int)
+	rec = func(i int) {
+		if stop {
+			return
+		}
+		if i == len(todo) {
+			if !fn(h) {
+				stop = true
+			}
+			return
+		}
+		v := todo[i]
+		for _, w := range vars {
+			h[v] = w
+			if consistentFor(q, byRel, h, v) {
+				rec(i + 1)
+				if stop {
+					return
+				}
+			}
+		}
+		delete(h, v)
+	}
+	// Head-fixing must itself be consistent for atoms over head vars only.
+	ok := true
+	for _, x := range q.Head {
+		if !consistentFor(q, byRel, h, x) {
+			ok = false
+			break
+		}
+	}
+	if ok {
+		rec(0)
+	}
+}
+
+// HeadPermutations returns the set Π of Lemma 5.8: all permutations π of
+// the head positions such that xi ↦ x_{π(i)} extends to an endomorphism of
+// q. Each permutation is returned as a slice p with p[i] = π(i) (0-based).
+// The identity is always included (for a valid query).
+func HeadPermutations(q *Query) [][]int {
+	k := len(q.Head)
+	pos := make(map[string]int, k)
+	for i, x := range q.Head {
+		pos[x] = i
+	}
+	var perms [][]int
+	seen := make(map[string]bool)
+	var rec func(p []int, used []bool)
+	rec = func(p []int, used []bool) {
+		if len(p) == k {
+			key := ""
+			for _, i := range p {
+				key += string(rune('a' + i))
+			}
+			if seen[key] {
+				return
+			}
+			// Check xi ↦ x_{p[i]} extends to an endomorphism.
+			seed := make(map[string]string, k)
+			for i, x := range q.Head {
+				seed[x] = q.Head[p[i]]
+			}
+			// Build the "unconstrained-head" version so that the seed, not the
+			// identity head constraint, pins the head variables.
+			free := q.Clone()
+			free.Head = nil
+			if HomomorphismWithSeed(free, free, seed) != nil {
+				seen[key] = true
+				perms = append(perms, append([]int(nil), p...))
+			}
+			return
+		}
+		for i := 0; i < k; i++ {
+			if used[i] {
+				continue
+			}
+			used[i] = true
+			rec(append(p, i), used)
+			used[i] = false
+		}
+	}
+	rec([]int{}, make([]bool, k))
+	return perms
+}

@@ -1,0 +1,161 @@
+package cq
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse reads a conjunctive query in Datalog-style syntax:
+//
+//	Q(x, y) :- R(x, y), S(y, z).
+//
+// The head lists the free variables (possibly empty: "Q() :- R(x)." is a
+// Boolean query); every other body variable is existentially quantified.
+// Variable and relation names are identifiers: a letter or underscore
+// followed by letters, digits, underscores or primes ('). The trailing
+// period is optional. Parse validates the query (see Query.Validate).
+func Parse(text string) (*Query, error) {
+	p := &parser{src: text}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, fmt.Errorf("parsing %q: %w", text, err)
+	}
+	if err := q.Validate(); err != nil {
+		return nil, fmt.Errorf("parsing %q: %w", text, err)
+	}
+	return q, nil
+}
+
+// MustParse is Parse but panics on error; intended for tests, examples and
+// package-level query constants.
+func MustParse(text string) *Query {
+	q, err := Parse(text)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	q := &Query{}
+	name, err := p.ident()
+	if err != nil {
+		return nil, fmt.Errorf("query name: %w", err)
+	}
+	q.Name = name
+	head, err := p.argList()
+	if err != nil {
+		return nil, fmt.Errorf("head of %s: %w", name, err)
+	}
+	q.Head = head
+	if err := p.expect(":-"); err != nil {
+		return nil, err
+	}
+	for {
+		rel, err := p.ident()
+		if err != nil {
+			return nil, fmt.Errorf("atom: %w", err)
+		}
+		args, err := p.argList()
+		if err != nil {
+			return nil, fmt.Errorf("atom %s: %w", rel, err)
+		}
+		if len(args) == 0 {
+			return nil, fmt.Errorf("atom %s has no arguments", rel)
+		}
+		q.Atoms = append(q.Atoms, Atom{Rel: rel, Args: args})
+		p.skipSpace()
+		if !p.eat(",") {
+			break
+		}
+	}
+	p.skipSpace()
+	p.eat(".") // optional
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("unexpected trailing input at offset %d: %q", p.pos, p.rest())
+	}
+	return q, nil
+}
+
+func (p *parser) rest() string {
+	r := p.src[p.pos:]
+	if len(r) > 20 {
+		r = r[:20] + "…"
+	}
+	return r
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && unicode.IsSpace(rune(p.src[p.pos])) {
+		p.pos++
+	}
+}
+
+func (p *parser) eat(tok string) bool {
+	p.skipSpace()
+	if strings.HasPrefix(p.src[p.pos:], tok) {
+		p.pos += len(tok)
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(tok string) error {
+	if !p.eat(tok) {
+		return fmt.Errorf("expected %q at offset %d, found %q", tok, p.pos, p.rest())
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || c == '\'' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+func (p *parser) ident() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	if p.pos >= len(p.src) || !isIdentStart(p.src[p.pos]) {
+		return "", fmt.Errorf("expected identifier at offset %d, found %q", p.pos, p.rest())
+	}
+	for p.pos < len(p.src) && isIdentPart(p.src[p.pos]) {
+		p.pos++
+	}
+	return p.src[start:p.pos], nil
+}
+
+// argList parses "(" [ident {"," ident}] ")".
+func (p *parser) argList() ([]string, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	var args []string
+	p.skipSpace()
+	if p.eat(")") {
+		return args, nil
+	}
+	for {
+		v, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, v)
+		p.skipSpace()
+		if p.eat(")") {
+			return args, nil
+		}
+		if err := p.expect(","); err != nil {
+			return nil, err
+		}
+	}
+}

@@ -1,0 +1,77 @@
+// Package dict provides dictionary encoding between arbitrary string
+// constants and the dense int64 domain values used by the query engine.
+//
+// The paper assumes dom = N (natural numbers) so that constants can index
+// arrays in the RAM model. Real databases store strings, timestamps and
+// other values; dictionary encoding is the standard bridge: every distinct
+// external constant is assigned the next free int64 code, and codes can be
+// translated back for display. Encoding is append-only — codes are never
+// reused, so a code remains valid even after all tuples mentioning it have
+// been deleted.
+package dict
+
+import "fmt"
+
+// Dict maps external string constants to dense int64 codes and back.
+// The zero value is not ready for use; call New.
+type Dict struct {
+	codes map[string]int64
+	names []string // names[code-1] == external name; codes start at 1
+}
+
+// New returns an empty dictionary. Codes are assigned starting at 1,
+// matching the paper's convention dom = N_{>=1} (0 is reserved so that
+// zero-initialised storage never collides with a real constant).
+func New() *Dict {
+	return &Dict{codes: make(map[string]int64)}
+}
+
+// Encode returns the code for name, assigning a fresh code if name has not
+// been seen before.
+func (d *Dict) Encode(name string) int64 {
+	if c, ok := d.codes[name]; ok {
+		return c
+	}
+	d.names = append(d.names, name)
+	c := int64(len(d.names))
+	d.codes[name] = c
+	return c
+}
+
+// EncodeAll encodes a slice of names, returning freshly allocated codes.
+func (d *Dict) EncodeAll(names ...string) []int64 {
+	out := make([]int64, len(names))
+	for i, n := range names {
+		out[i] = d.Encode(n)
+	}
+	return out
+}
+
+// Lookup returns the code for name without assigning a new one.
+// The second result reports whether name is known.
+func (d *Dict) Lookup(name string) (int64, bool) {
+	c, ok := d.codes[name]
+	return c, ok
+}
+
+// Decode returns the external name for code. It panics if code was never
+// assigned by this dictionary; codes come only from Encode, so a bad code
+// indicates a programming error rather than bad input.
+func (d *Dict) Decode(code int64) string {
+	if code < 1 || code > int64(len(d.names)) {
+		panic(fmt.Sprintf("dict: code %d was never assigned (have 1..%d)", code, len(d.names)))
+	}
+	return d.names[code-1]
+}
+
+// DecodeAll decodes a tuple of codes into a freshly allocated name slice.
+func (d *Dict) DecodeAll(codes []int64) []string {
+	out := make([]string, len(codes))
+	for i, c := range codes {
+		out[i] = d.Decode(c)
+	}
+	return out
+}
+
+// Len returns the number of distinct constants seen so far.
+func (d *Dict) Len() int { return len(d.names) }

@@ -1,0 +1,121 @@
+package dict
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	d := New()
+	names := []string{"alice", "bob", "carol", "", "alice", "bob", "日本語", "x y z"}
+	codes := make([]int64, len(names))
+	for i, n := range names {
+		codes[i] = d.Encode(n)
+	}
+	for i, n := range names {
+		if got := d.Decode(codes[i]); got != n {
+			t.Errorf("Decode(Encode(%q)) = %q", n, got)
+		}
+	}
+	// 6 distinct names: alice bob carol "" 日本語 "x y z"
+	if d.Len() != 6 {
+		t.Errorf("Len() = %d, want 6", d.Len())
+	}
+}
+
+func TestEncodeStable(t *testing.T) {
+	d := New()
+	a1 := d.Encode("a")
+	b := d.Encode("b")
+	a2 := d.Encode("a")
+	if a1 != a2 {
+		t.Errorf("Encode(a) twice gave %d then %d", a1, a2)
+	}
+	if a1 == b {
+		t.Errorf("distinct names share code %d", a1)
+	}
+}
+
+func TestCodesStartAtOne(t *testing.T) {
+	d := New()
+	if c := d.Encode("first"); c != 1 {
+		t.Errorf("first code = %d, want 1", c)
+	}
+	if c := d.Encode("second"); c != 2 {
+		t.Errorf("second code = %d, want 2", c)
+	}
+}
+
+func TestLookup(t *testing.T) {
+	d := New()
+	if _, ok := d.Lookup("missing"); ok {
+		t.Error("Lookup on empty dict reported ok")
+	}
+	want := d.Encode("present")
+	got, ok := d.Lookup("present")
+	if !ok || got != want {
+		t.Errorf("Lookup(present) = %d,%v want %d,true", got, ok, want)
+	}
+	if _, ok := d.Lookup("missing"); ok {
+		t.Error("Lookup(missing) reported ok")
+	}
+}
+
+func TestEncodeAllDecodeAll(t *testing.T) {
+	d := New()
+	codes := d.EncodeAll("x", "y", "x")
+	if len(codes) != 3 || codes[0] != codes[2] || codes[0] == codes[1] {
+		t.Errorf("EncodeAll gave %v", codes)
+	}
+	names := d.DecodeAll(codes)
+	if names[0] != "x" || names[1] != "y" || names[2] != "x" {
+		t.Errorf("DecodeAll gave %v", names)
+	}
+}
+
+func TestDecodeBadCodePanics(t *testing.T) {
+	for _, code := range []int64{0, -1, 7} {
+		t.Run(fmt.Sprint(code), func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Decode(%d) did not panic", code)
+				}
+			}()
+			d := New()
+			d.Encode("only")
+			d.Decode(code)
+		})
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	d := New()
+	f := func(names []string) bool {
+		for _, n := range names {
+			if d.Decode(d.Encode(n)) != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickInjective(t *testing.T) {
+	d := New()
+	seen := make(map[int64]string)
+	f := func(name string) bool {
+		c := d.Encode(name)
+		if prev, ok := seen[c]; ok {
+			return prev == name
+		}
+		seen[c] = name
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

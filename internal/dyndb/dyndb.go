@@ -1,0 +1,284 @@
+// Package dyndb implements the fully dynamic relational databases of
+// Section 2 of the paper: finite relations over the domain dom = int64
+// under set semantics, modified by single-tuple insert and delete
+// commands. It tracks the quantities the paper's bounds are stated in:
+// the cardinality |D| (number of stored tuples), the active domain size
+// n = |adom(D)|, and the size ||D|| = |σ| + |adom(D)| + Σ_R ar(R)·|R^D|.
+package dyndb
+
+import (
+	"fmt"
+	"sort"
+
+	"dyncq/internal/tuplekey"
+)
+
+// Value is a database constant. The paper takes dom = N_{>=1}; any int64
+// works here, with 0 conventionally unused (dictionary encoding in package
+// dict starts at 1).
+type Value = int64
+
+// Op distinguishes the two update commands.
+type Op uint8
+
+const (
+	// OpInsert is the paper's "insert R(a1,…,ar)" command.
+	OpInsert Op = iota
+	// OpDelete is the paper's "delete R(a1,…,ar)" command.
+	OpDelete
+)
+
+func (o Op) String() string {
+	if o == OpInsert {
+		return "insert"
+	}
+	return "delete"
+}
+
+// Update is a single update command.
+type Update struct {
+	Op    Op
+	Rel   string
+	Tuple []Value
+}
+
+func (u Update) String() string {
+	return fmt.Sprintf("%s %s%v", u.Op, u.Rel, u.Tuple)
+}
+
+// Insert returns an insertion command for the given tuple.
+func Insert(rel string, tuple ...Value) Update {
+	return Update{Op: OpInsert, Rel: rel, Tuple: tuple}
+}
+
+// Delete returns a deletion command for the given tuple.
+func Delete(rel string, tuple ...Value) Update {
+	return Update{Op: OpDelete, Rel: rel, Tuple: tuple}
+}
+
+// Relation is a finite set of tuples of a fixed arity.
+type Relation struct {
+	name   string
+	arity  int
+	tuples *tuplekey.Map[struct{}]
+}
+
+// Arity returns the relation's arity.
+func (r *Relation) Arity() int { return r.arity }
+
+// Len returns |R^D|.
+func (r *Relation) Len() int { return r.tuples.Len() }
+
+// Has reports whether the tuple is present.
+func (r *Relation) Has(tuple []Value) bool {
+	_, ok := r.tuples.Get(tuple)
+	return ok
+}
+
+// Each calls fn for every tuple until fn returns false. The tuple slice
+// passed to fn is owned by the relation and must not be mutated. The
+// relation must not be modified during iteration.
+func (r *Relation) Each(fn func(tuple []Value) bool) {
+	r.tuples.Range(func(k []int64, _ struct{}) bool { return fn(k) })
+}
+
+// Tuples returns all tuples, sorted lexicographically (deterministic for
+// tests and display). The inner slices are owned by the relation.
+func (r *Relation) Tuples() [][]Value {
+	out := make([][]Value, 0, r.Len())
+	r.Each(func(t []Value) bool { out = append(out, t); return true })
+	sort.Slice(out, func(i, j int) bool { return lessTuple(out[i], out[j]) })
+	return out
+}
+
+func lessTuple(a, b []Value) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// Database is a σ-db: a set of named relations. The zero value is not
+// ready; use New.
+type Database struct {
+	rels map[string]*Relation
+	// adom counts occurrences of every constant across all stored tuples
+	// so that deletions maintain the active domain exactly.
+	adom     map[Value]int
+	adomSize int
+	card     int // |D|: total number of tuples
+}
+
+// New returns an empty database with no declared relations.
+func New() *Database {
+	return &Database{rels: make(map[string]*Relation), adom: make(map[Value]int)}
+}
+
+// EnsureRelation declares a relation with the given arity (idempotent).
+// It returns an error if the relation exists with a different arity.
+func (d *Database) EnsureRelation(name string, arity int) error {
+	if arity < 1 {
+		return fmt.Errorf("relation %s: arity %d < 1", name, arity)
+	}
+	if r, ok := d.rels[name]; ok {
+		if r.arity != arity {
+			return fmt.Errorf("relation %s has arity %d, requested %d", name, r.arity, arity)
+		}
+		return nil
+	}
+	d.rels[name] = &Relation{name: name, arity: arity, tuples: tuplekey.NewMap[struct{}](0)}
+	return nil
+}
+
+// Relation returns the named relation, or nil if undeclared.
+func (d *Database) Relation(name string) *Relation { return d.rels[name] }
+
+// Relations returns the declared relation names in sorted order.
+func (d *Database) Relations() []string {
+	out := make([]string, 0, len(d.rels))
+	for n := range d.rels {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Insert adds the tuple to the relation, declaring the relation with the
+// tuple's arity if it is new. It reports whether the database changed
+// (false if the tuple was already present). An error is returned on arity
+// mismatch.
+func (d *Database) Insert(rel string, tuple ...Value) (bool, error) {
+	if err := d.EnsureRelation(rel, len(tuple)); err != nil {
+		return false, err
+	}
+	r := d.rels[rel]
+	if r.arity != len(tuple) {
+		return false, fmt.Errorf("insert %s: tuple arity %d, relation arity %d", rel, len(tuple), r.arity)
+	}
+	if r.Has(tuple) {
+		return false, nil
+	}
+	stored := append([]Value(nil), tuple...)
+	r.tuples.Put(stored, struct{}{})
+	d.card++
+	for _, v := range stored {
+		d.adom[v]++
+		if d.adom[v] == 1 {
+			d.adomSize++
+		}
+	}
+	return true, nil
+}
+
+// Delete removes the tuple from the relation, reporting whether the
+// database changed. Deleting from an undeclared relation is a no-op.
+func (d *Database) Delete(rel string, tuple ...Value) (bool, error) {
+	r := d.rels[rel]
+	if r == nil {
+		return false, nil
+	}
+	if r.arity != len(tuple) {
+		return false, fmt.Errorf("delete %s: tuple arity %d, relation arity %d", rel, len(tuple), r.arity)
+	}
+	if !r.tuples.Delete(tuple) {
+		return false, nil
+	}
+	d.card--
+	for _, v := range tuple {
+		d.adom[v]--
+		if d.adom[v] == 0 {
+			d.adomSize--
+			delete(d.adom, v)
+		}
+	}
+	return true, nil
+}
+
+// Apply executes an update command, reporting whether the database
+// changed.
+func (d *Database) Apply(u Update) (bool, error) {
+	if u.Op == OpInsert {
+		return d.Insert(u.Rel, u.Tuple...)
+	}
+	return d.Delete(u.Rel, u.Tuple...)
+}
+
+// ApplyAll executes a sequence of update commands, stopping at the first
+// error.
+func (d *Database) ApplyAll(updates []Update) error {
+	for _, u := range updates {
+		if _, err := d.Apply(u); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Has reports whether the tuple is present in the named relation.
+func (d *Database) Has(rel string, tuple ...Value) bool {
+	r := d.rels[rel]
+	return r != nil && r.Has(tuple)
+}
+
+// Cardinality returns |D|, the number of stored tuples.
+func (d *Database) Cardinality() int { return d.card }
+
+// ActiveDomainSize returns n = |adom(D)|.
+func (d *Database) ActiveDomainSize() int { return d.adomSize }
+
+// InActiveDomain reports whether v occurs in some stored tuple.
+func (d *Database) InActiveDomain(v Value) bool { return d.adom[v] > 0 }
+
+// ActiveDomain returns the active domain in sorted order.
+func (d *Database) ActiveDomain() []Value {
+	out := make([]Value, 0, d.adomSize)
+	for v := range d.adom {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Size returns ||D|| = |σ| + |adom(D)| + Σ_R ar(R)·|R^D| as defined in
+// Section 2.
+func (d *Database) Size() int {
+	s := len(d.rels) + d.adomSize
+	for _, r := range d.rels {
+		s += r.arity * r.Len()
+	}
+	return s
+}
+
+// Clone returns a deep copy of the database.
+func (d *Database) Clone() *Database {
+	c := New()
+	for name, r := range d.rels {
+		if err := c.EnsureRelation(name, r.arity); err != nil {
+			panic(err) // fresh database: cannot conflict
+		}
+		r.Each(func(t []Value) bool {
+			if _, err := c.Insert(name, t...); err != nil {
+				panic(err)
+			}
+			return true
+		})
+	}
+	return c
+}
+
+// Updates returns a sequence of insertion commands that rebuilds the
+// database from empty, in deterministic order.
+func (d *Database) Updates() []Update {
+	var out []Update
+	for _, name := range d.Relations() {
+		for _, t := range d.rels[name].Tuples() {
+			out = append(out, Insert(name, append([]Value(nil), t...)...))
+		}
+	}
+	return out
+}

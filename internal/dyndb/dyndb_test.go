@@ -1,0 +1,219 @@
+package dyndb
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestInsertDeleteSetSemantics(t *testing.T) {
+	d := New()
+	ch, err := d.Insert("E", 1, 2)
+	if err != nil || !ch {
+		t.Fatalf("first insert: %v %v", ch, err)
+	}
+	ch, err = d.Insert("E", 1, 2)
+	if err != nil || ch {
+		t.Fatalf("duplicate insert changed the db: %v %v", ch, err)
+	}
+	if d.Cardinality() != 1 {
+		t.Errorf("|D| = %d, want 1", d.Cardinality())
+	}
+	ch, err = d.Delete("E", 1, 2)
+	if err != nil || !ch {
+		t.Fatalf("delete: %v %v", ch, err)
+	}
+	ch, err = d.Delete("E", 1, 2)
+	if err != nil || ch {
+		t.Fatalf("double delete changed the db: %v %v", ch, err)
+	}
+	if d.Cardinality() != 0 {
+		t.Errorf("|D| = %d, want 0", d.Cardinality())
+	}
+}
+
+func TestArityEnforcement(t *testing.T) {
+	d := New()
+	if _, err := d.Insert("E", 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Insert("E", 1); err == nil {
+		t.Error("arity mismatch on insert not detected")
+	}
+	if _, err := d.Delete("E", 1); err == nil {
+		t.Error("arity mismatch on delete not detected")
+	}
+	if err := d.EnsureRelation("E", 3); err == nil {
+		t.Error("EnsureRelation with wrong arity succeeded")
+	}
+	if err := d.EnsureRelation("E", 2); err != nil {
+		t.Errorf("EnsureRelation idempotent call failed: %v", err)
+	}
+	if err := d.EnsureRelation("Z", 0); err == nil {
+		t.Error("zero arity accepted")
+	}
+}
+
+func TestDeleteUndeclared(t *testing.T) {
+	d := New()
+	ch, err := d.Delete("Nope", 1)
+	if err != nil || ch {
+		t.Errorf("delete from undeclared relation: %v %v", ch, err)
+	}
+}
+
+// TestActiveDomain checks that n = |adom(D)| is maintained exactly,
+// including under repeated values within one tuple (the paper's updates
+// "may change the database's active domain" in both directions).
+func TestActiveDomain(t *testing.T) {
+	d := New()
+	d.Insert("E", 1, 1)
+	if d.ActiveDomainSize() != 1 {
+		t.Errorf("n = %d, want 1", d.ActiveDomainSize())
+	}
+	d.Insert("E", 1, 2)
+	d.Insert("F", 2, 3)
+	if d.ActiveDomainSize() != 3 {
+		t.Errorf("n = %d, want 3", d.ActiveDomainSize())
+	}
+	d.Delete("E", 1, 2)
+	// 1 survives via E(1,1); 2 survives via F(2,3).
+	if d.ActiveDomainSize() != 3 {
+		t.Errorf("n = %d, want 3 after delete", d.ActiveDomainSize())
+	}
+	d.Delete("E", 1, 1)
+	if d.ActiveDomainSize() != 2 || d.InActiveDomain(1) {
+		t.Errorf("n = %d, want 2; 1 in adom: %v", d.ActiveDomainSize(), d.InActiveDomain(1))
+	}
+	adom := d.ActiveDomain()
+	if len(adom) != 2 || adom[0] != 2 || adom[1] != 3 {
+		t.Errorf("ActiveDomain = %v", adom)
+	}
+}
+
+func TestSizeFormula(t *testing.T) {
+	d := New()
+	d.Insert("E", 1, 2) // |σ|=1, adom {1,2}, 2·1 = 2 → ||D|| = 1+2+2 = 5
+	if got := d.Size(); got != 5 {
+		t.Errorf("||D|| = %d, want 5", got)
+	}
+	d.Insert("T", 3) // |σ|=2, adom {1,2,3}, 2+1 → ||D|| = 2+3+3 = 8
+	if got := d.Size(); got != 8 {
+		t.Errorf("||D|| = %d, want 8", got)
+	}
+}
+
+func TestApplyAndUpdates(t *testing.T) {
+	d := New()
+	stream := []Update{
+		Insert("E", 1, 2),
+		Insert("E", 2, 3),
+		Insert("T", 3),
+		Delete("E", 1, 2),
+	}
+	if err := d.ApplyAll(stream); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Has("E", 2, 3) || d.Has("E", 1, 2) || !d.Has("T", 3) {
+		t.Error("ApplyAll produced wrong state")
+	}
+	// Rebuild from Updates() and compare.
+	d2 := New()
+	if err := d2.ApplyAll(d.Updates()); err != nil {
+		t.Fatal(err)
+	}
+	if d2.Cardinality() != d.Cardinality() || d2.Size() != d.Size() {
+		t.Errorf("rebuild mismatch: |D|=%d vs %d", d2.Cardinality(), d.Cardinality())
+	}
+	if !d2.Has("E", 2, 3) || !d2.Has("T", 3) {
+		t.Error("rebuild lost tuples")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	d := New()
+	d.Insert("E", 1, 2)
+	c := d.Clone()
+	c.Insert("E", 5, 6)
+	if d.Has("E", 5, 6) {
+		t.Error("clone shares state with original")
+	}
+	if !c.Has("E", 1, 2) {
+		t.Error("clone missing original tuple")
+	}
+}
+
+func TestRelationAccessors(t *testing.T) {
+	d := New()
+	d.Insert("E", 3, 4)
+	d.Insert("E", 1, 2)
+	r := d.Relation("E")
+	if r == nil || r.Arity() != 2 || r.Len() != 2 {
+		t.Fatalf("Relation accessor broken: %+v", r)
+	}
+	ts := r.Tuples()
+	if len(ts) != 2 || ts[0][0] != 1 || ts[1][0] != 3 {
+		t.Errorf("Tuples not sorted: %v", ts)
+	}
+	count := 0
+	r.Each(func([]Value) bool { count++; return true })
+	if count != 2 {
+		t.Errorf("Each visited %d", count)
+	}
+	if got := d.Relations(); len(got) != 1 || got[0] != "E" {
+		t.Errorf("Relations = %v", got)
+	}
+}
+
+// TestRandomStreamInvariants runs a random update stream and checks the
+// maintained statistics against recomputation from scratch.
+func TestRandomStreamInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := New()
+	type key struct{ a, b Value }
+	model := map[key]bool{}
+	for step := 0; step < 20000; step++ {
+		a, b := Value(rng.Intn(30)), Value(rng.Intn(30))
+		if rng.Intn(2) == 0 {
+			ch, err := d.Insert("E", a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ch == model[key{a, b}] {
+				t.Fatalf("step %d: insert changed=%v but model present=%v", step, ch, model[key{a, b}])
+			}
+			model[key{a, b}] = true
+		} else {
+			ch, err := d.Delete("E", a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ch != model[key{a, b}] {
+				t.Fatalf("step %d: delete changed=%v but model present=%v", step, ch, model[key{a, b}])
+			}
+			delete(model, key{a, b})
+		}
+		if d.Cardinality() != len(model) {
+			t.Fatalf("step %d: |D| = %d, model %d", step, d.Cardinality(), len(model))
+		}
+	}
+	// Recompute adom from the model.
+	adom := map[Value]bool{}
+	for k := range model {
+		adom[k.a] = true
+		adom[k.b] = true
+	}
+	if d.ActiveDomainSize() != len(adom) {
+		t.Errorf("n = %d, recomputed %d", d.ActiveDomainSize(), len(adom))
+	}
+}
+
+func TestUpdateString(t *testing.T) {
+	u := Insert("E", 1, 2)
+	if u.String() != "insert E[1 2]" {
+		t.Errorf("String() = %q", u.String())
+	}
+	u = Delete("T", 7)
+	if u.String() != "delete T[7]" {
+		t.Errorf("String() = %q", u.String())
+	}
+}

@@ -1,0 +1,437 @@
+// Package eval is a static (non-incremental) conjunctive query evaluator:
+// a backtracking join with lazily built hash indexes. It plays three roles
+// in this repository:
+//
+//   - the correctness oracle that the dynamic engine (internal/core) and
+//     the IVM baseline (internal/ivm) are tested against,
+//   - the "recompute from scratch after every update" baseline of the
+//     benchmark suite, and
+//   - the residual-query evaluator inside the IVM baseline's delta rules,
+//     via pinned atoms.
+//
+// Evaluation is exponential in the query size in the worst case (CQ
+// evaluation is NP-hard in combined complexity); queries are fixed and
+// small (data complexity), matching the paper's cost model.
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"dyncq/internal/cq"
+	"dyncq/internal/dyndb"
+	"dyncq/internal/tuplekey"
+)
+
+// Value is a database constant.
+type Value = dyndb.Value
+
+// Pinned maps an atom index (into q.Atoms) to a fixed tuple: during
+// evaluation that atom matches only the given tuple instead of its
+// relation. This is the hook the IVM delta rules use to force occurrences
+// of an updated relation onto the updated tuple.
+type Pinned map[int][]Value
+
+// Result is a set of distinct head tuples.
+type Result struct {
+	arity int
+	set   map[string][]Value
+}
+
+// Len returns the number of distinct tuples — the paper's |ϕ(D)|.
+func (r *Result) Len() int { return len(r.set) }
+
+// Has reports whether the tuple is in the result.
+func (r *Result) Has(tuple []Value) bool {
+	_, ok := r.set[tuplekey.String(tuple)]
+	return ok
+}
+
+// Tuples returns the result tuples sorted lexicographically.
+func (r *Result) Tuples() [][]Value {
+	out := make([][]Value, 0, len(r.set))
+	for _, t := range r.set {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		for k := range out[i] {
+			if out[i][k] != out[j][k] {
+				return out[i][k] < out[j][k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// Each calls fn for every tuple until fn returns false.
+func (r *Result) Each(fn func(tuple []Value) bool) {
+	for _, t := range r.set {
+		if !fn(t) {
+			return
+		}
+	}
+}
+
+// Evaluate computes ϕ(D): the set of distinct head projections of all
+// valuations satisfying the body.
+func Evaluate(q *cq.Query, db *dyndb.Database) *Result {
+	res := &Result{arity: len(q.Head), set: make(map[string][]Value)}
+	run(q, db, nil, nil, func(head []Value) bool {
+		k := tuplekey.String(head)
+		if _, ok := res.set[k]; !ok {
+			res.set[k] = append([]Value(nil), head...)
+		}
+		return true
+	})
+	return res
+}
+
+// Count returns |ϕ(D)| (number of distinct head tuples).
+func Count(q *cq.Query, db *dyndb.Database) int {
+	return Evaluate(q, db).Len()
+}
+
+// Answer reports whether ϕ(D) is nonempty, stopping at the first
+// satisfying valuation.
+func Answer(q *cq.Query, db *dyndb.Database) bool {
+	found := false
+	run(q, db, nil, nil, func([]Value) bool {
+		found = true
+		return false
+	})
+	return found
+}
+
+// CountValuations returns, for every head tuple, the number of valuations
+// (homomorphisms ϕ → D over all variables) projecting to it, honouring
+// pinned atoms. Keys are tuplekey.String encodings of head tuples. If idx
+// is non-nil its indexes are used and extended; otherwise a transient
+// index set over db is built.
+func CountValuations(q *cq.Query, db *dyndb.Database, pinned Pinned, idx *IndexSet) map[string]int64 {
+	out := make(map[string]int64)
+	run(q, db, pinned, idx, func(head []Value) bool {
+		out[tuplekey.String(head)]++
+		return true
+	})
+	return out
+}
+
+// run enumerates all satisfying valuations of q over db (with pinned atom
+// overrides), calling emit with the head projection of each until emit
+// returns false. The head slice passed to emit is reused between calls.
+func run(q *cq.Query, db *dyndb.Database, pinned Pinned, idx *IndexSet, emit func(head []Value) bool) {
+	if idx == nil {
+		idx = NewIndexSet(db)
+	} else if idx.db != db {
+		panic("eval: IndexSet belongs to a different database")
+	}
+	vars := q.Vars()
+	varIdx := make(map[string]int, len(vars))
+	for i, v := range vars {
+		varIdx[v] = i
+	}
+	atoms := make([]catom, len(q.Atoms))
+	for i, a := range q.Atoms {
+		ca := catom{orig: i, rel: a.Rel, args: make([]int, len(a.Args))}
+		for j, v := range a.Args {
+			ca.args[j] = varIdx[v]
+		}
+		if t, ok := pinned[i]; ok {
+			ca.pinTo, ca.pinSet = t, true
+		}
+		atoms[i] = ca
+	}
+
+	// Greedy join order: pinned atoms first, then repeatedly the atom with
+	// the most already-bound variables, tie-broken by smaller relation.
+	order := planOrder(atoms, db)
+
+	assign := make([]Value, len(vars))
+	bound := make([]bool, len(vars))
+	head := make([]Value, len(q.Head))
+	headIdx := make([]int, len(q.Head))
+	for i, h := range q.Head {
+		headIdx[i] = varIdx[h]
+	}
+
+	stopped := false
+	var step func(d int)
+	step = func(d int) {
+		if stopped {
+			return
+		}
+		if d == len(order) {
+			for i, vi := range headIdx {
+				head[i] = assign[vi]
+			}
+			if !emit(head) {
+				stopped = true
+			}
+			return
+		}
+		a := atoms[order[d]]
+		// tryTuple binds the atom's unbound variables to the tuple and
+		// recurses, then unbinds.
+		tryTuple := func(t []Value) {
+			var newlyBound []int
+			ok := true
+			for j, vi := range a.args {
+				if bound[vi] {
+					if assign[vi] != t[j] {
+						ok = false
+						break
+					}
+				} else {
+					assign[vi] = t[j]
+					bound[vi] = true
+					newlyBound = append(newlyBound, vi)
+				}
+			}
+			if ok {
+				step(d + 1)
+			}
+			for _, vi := range newlyBound {
+				bound[vi] = false
+			}
+		}
+		if a.pinSet {
+			if len(a.pinTo) == len(a.args) {
+				tryTuple(a.pinTo)
+			}
+			return
+		}
+		rel := db.Relation(a.rel)
+		if rel == nil {
+			return // empty relation: no matches
+		}
+		// Determine bound positions.
+		var mask uint32
+		var boundVals []Value
+		allBound := true
+		for j, vi := range a.args {
+			if bound[vi] {
+				mask |= 1 << uint(j)
+				boundVals = append(boundVals, assign[vi])
+			} else {
+				allBound = false
+			}
+		}
+		switch {
+		case allBound:
+			t := make([]Value, len(a.args))
+			for j, vi := range a.args {
+				t[j] = assign[vi]
+			}
+			if rel.Has(t) {
+				step(d + 1)
+			}
+		case mask == 0:
+			rel.Each(func(t []Value) bool {
+				tryTuple(t)
+				return !stopped
+			})
+		default:
+			ix := idx.Get(a.rel, mask)
+			for _, t := range ix.bucket(boundVals) {
+				tryTuple(t)
+				if stopped {
+					return
+				}
+			}
+		}
+	}
+	step(0)
+}
+
+// catom is an atom compiled for evaluation: argument variables resolved
+// to indices, with an optional pinned tuple.
+type catom struct {
+	orig   int
+	rel    string
+	args   []int // variable indices per position
+	pinTo  []Value
+	pinSet bool
+}
+
+func planOrder(atoms []catom, db *dyndb.Database) []int {
+	n := len(atoms)
+	used := make([]bool, n)
+	boundVars := map[int]bool{}
+	var order []int
+	relSize := func(rel string) int {
+		r := db.Relation(rel)
+		if r == nil {
+			return 0
+		}
+		return r.Len()
+	}
+	for len(order) < n {
+		best, bestScore, bestSize := -1, -1, 0
+		for i, a := range atoms {
+			if used[i] {
+				continue
+			}
+			score := 0
+			if a.pinSet {
+				score = 1 << 20 // pinned: essentially free, schedule first
+			}
+			for _, vi := range a.args {
+				if boundVars[vi] {
+					score++
+				}
+			}
+			size := relSize(a.rel)
+			if best == -1 || score > bestScore || (score == bestScore && size < bestSize) {
+				best, bestScore, bestSize = i, score, size
+			}
+		}
+		used[best] = true
+		order = append(order, best)
+		for _, vi := range atoms[best].args {
+			boundVars[vi] = true
+		}
+	}
+	return order
+}
+
+// IndexSet is a collection of hash indexes over a database's relations,
+// keyed by (relation, bound-position mask). Indexes are built lazily on
+// first use and can be maintained incrementally under updates, which is
+// how the IVM baseline keeps its residual joins fast without rescanning.
+type IndexSet struct {
+	db  *dyndb.Database
+	idx map[indexKey]*Index
+}
+
+type indexKey struct {
+	rel  string
+	mask uint32
+}
+
+// Index maps the projection of tuples onto the mask's positions to the
+// set of matching tuples.
+type Index struct {
+	mask    uint32
+	arity   int
+	buckets map[string]map[string][]Value // projKey → tupleKey → tuple
+}
+
+// NewIndexSet returns an empty index set over db.
+func NewIndexSet(db *dyndb.Database) *IndexSet {
+	return &IndexSet{db: db, idx: make(map[indexKey]*Index)}
+}
+
+// Get returns the index for (rel, mask), building it by a relation scan if
+// it does not exist yet.
+func (s *IndexSet) Get(rel string, mask uint32) *Index {
+	k := indexKey{rel, mask}
+	if ix, ok := s.idx[k]; ok {
+		return ix
+	}
+	r := s.db.Relation(rel)
+	arity := 0
+	if r != nil {
+		arity = r.Arity()
+	}
+	ix := &Index{mask: mask, arity: arity, buckets: make(map[string]map[string][]Value)}
+	if r != nil {
+		r.Each(func(t []Value) bool {
+			ix.add(t)
+			return true
+		})
+	}
+	s.idx[k] = ix
+	return ix
+}
+
+// ApplyUpdate maintains all existing indexes on u.Rel. Call it after the
+// database itself has been updated; it is idempotent with respect to set
+// semantics (inserting a tuple twice stores it once).
+func (s *IndexSet) ApplyUpdate(u dyndb.Update) {
+	for k, ix := range s.idx {
+		if k.rel != u.Rel {
+			continue
+		}
+		if u.Op == dyndb.OpInsert {
+			ix.add(u.Tuple)
+		} else {
+			ix.remove(u.Tuple)
+		}
+	}
+}
+
+func (ix *Index) projKey(t []Value) string {
+	var proj []Value
+	for j := range t {
+		if ix.mask&(1<<uint(j)) != 0 {
+			proj = append(proj, t[j])
+		}
+	}
+	return tuplekey.String(proj)
+}
+
+func (ix *Index) add(t []Value) {
+	pk := ix.projKey(t)
+	b := ix.buckets[pk]
+	if b == nil {
+		b = make(map[string][]Value)
+		ix.buckets[pk] = b
+	}
+	tk := tuplekey.String(t)
+	if _, ok := b[tk]; !ok {
+		b[tk] = append([]Value(nil), t...)
+	}
+}
+
+func (ix *Index) remove(t []Value) {
+	pk := ix.projKey(t)
+	b := ix.buckets[pk]
+	if b == nil {
+		return
+	}
+	delete(b, tuplekey.String(t))
+	if len(b) == 0 {
+		delete(ix.buckets, pk)
+	}
+}
+
+// bucket returns the tuples whose masked positions equal boundVals (in
+// mask position order).
+func (ix *Index) bucket(boundVals []Value) [][]Value {
+	b := ix.buckets[tuplekey.String(boundVals)]
+	if b == nil {
+		return nil
+	}
+	out := make([][]Value, 0, len(b))
+	for _, t := range b {
+		out = append(out, t)
+	}
+	return out
+}
+
+// SanityCheck verifies that the index set is consistent with its database
+// (every indexed tuple present, every relation tuple indexed). Intended
+// for tests; cost is linear in the database and indexes.
+func (s *IndexSet) SanityCheck() error {
+	for k, ix := range s.idx {
+		count := 0
+		for _, b := range ix.buckets {
+			for _, t := range b {
+				count++
+				if !s.db.Has(k.rel, t...) {
+					return fmt.Errorf("index (%s,%b) holds stale tuple %v", k.rel, k.mask, t)
+				}
+			}
+		}
+		r := s.db.Relation(k.rel)
+		want := 0
+		if r != nil {
+			want = r.Len()
+		}
+		if count != want {
+			return fmt.Errorf("index (%s,%b) has %d tuples, relation has %d", k.rel, k.mask, count, want)
+		}
+	}
+	return nil
+}

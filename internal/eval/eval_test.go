@@ -1,0 +1,284 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+
+	"dyncq/internal/cq"
+	"dyncq/internal/dyndb"
+	"dyncq/internal/tuplekey"
+)
+
+func mkdb(t *testing.T, inserts ...dyndb.Update) *dyndb.Database {
+	t.Helper()
+	db := dyndb.New()
+	if err := db.ApplyAll(inserts); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestEvaluateSET(t *testing.T) {
+	q := cq.MustParse("Q(x,y) :- S(x), E(x,y), T(y)")
+	db := mkdb(t,
+		dyndb.Insert("S", 1), dyndb.Insert("S", 2),
+		dyndb.Insert("E", 1, 10), dyndb.Insert("E", 1, 11), dyndb.Insert("E", 3, 10),
+		dyndb.Insert("T", 10),
+	)
+	res := Evaluate(q, db)
+	if res.Len() != 1 {
+		t.Fatalf("|result| = %d, want 1: %v", res.Len(), res.Tuples())
+	}
+	if !res.Has([]Value{1, 10}) {
+		t.Errorf("missing (1,10): %v", res.Tuples())
+	}
+	if !Answer(q, db) {
+		t.Error("Answer = false")
+	}
+	if Count(q, db) != 1 {
+		t.Error("Count != 1")
+	}
+}
+
+func TestEvaluateProjection(t *testing.T) {
+	// ϕE-T(x) = ∃y (Exy ∧ Ty): distinct x only.
+	q := cq.MustParse("Q(x) :- E(x,y), T(y)")
+	db := mkdb(t,
+		dyndb.Insert("E", 1, 10), dyndb.Insert("E", 1, 11),
+		dyndb.Insert("E", 2, 10), dyndb.Insert("E", 3, 12),
+		dyndb.Insert("T", 10), dyndb.Insert("T", 11),
+	)
+	res := Evaluate(q, db)
+	want := [][]Value{{1}, {2}}
+	got := res.Tuples()
+	if len(got) != len(want) {
+		t.Fatalf("result = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i][0] != want[i][0] {
+			t.Errorf("result = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEvaluateSelfJoin(t *testing.T) {
+	// ϕ1(x,y) = Exx ∧ Exy ∧ Eyy.
+	q := cq.MustParse("Q(x,y) :- E(x,x), E(x,y), E(y,y)")
+	db := mkdb(t,
+		dyndb.Insert("E", 1, 1), dyndb.Insert("E", 2, 2),
+		dyndb.Insert("E", 1, 2), dyndb.Insert("E", 2, 3),
+	)
+	res := Evaluate(q, db)
+	// (1,1), (2,2) via loops; (1,2) via 1→2 with both loops.
+	if res.Len() != 3 || !res.Has([]Value{1, 2}) || !res.Has([]Value{1, 1}) || !res.Has([]Value{2, 2}) {
+		t.Errorf("result = %v", res.Tuples())
+	}
+}
+
+func TestEvaluateRepeatedVarsInAtom(t *testing.T) {
+	q := cq.MustParse("Q(x) :- R(x,x)")
+	db := mkdb(t, dyndb.Insert("R", 1, 2), dyndb.Insert("R", 3, 3))
+	res := Evaluate(q, db)
+	if res.Len() != 1 || !res.Has([]Value{3}) {
+		t.Errorf("result = %v", res.Tuples())
+	}
+}
+
+func TestEvaluateBoolean(t *testing.T) {
+	q := cq.MustParse("Q() :- E(x,y), T(y)")
+	db := mkdb(t, dyndb.Insert("E", 1, 2))
+	if Answer(q, db) {
+		t.Error("Answer true without T tuples")
+	}
+	res := Evaluate(q, db)
+	if res.Len() != 0 {
+		t.Errorf("Boolean no: result = %v", res.Tuples())
+	}
+	db.Insert("T", 2)
+	if !Answer(q, db) {
+		t.Error("Answer false after adding T(2)")
+	}
+	res = Evaluate(q, db)
+	if res.Len() != 1 { // the empty tuple
+		t.Errorf("Boolean yes: |result| = %d, want 1", res.Len())
+	}
+}
+
+func TestEvaluateMissingRelation(t *testing.T) {
+	q := cq.MustParse("Q(x) :- E(x,y), T(y)")
+	db := mkdb(t, dyndb.Insert("E", 1, 2)) // no T at all
+	if got := Evaluate(q, db).Len(); got != 0 {
+		t.Errorf("|result| = %d, want 0", got)
+	}
+}
+
+func TestEvaluateCartesian(t *testing.T) {
+	q := cq.MustParse("Q(x,u) :- S(x), U(u)")
+	db := mkdb(t,
+		dyndb.Insert("S", 1), dyndb.Insert("S", 2),
+		dyndb.Insert("U", 7), dyndb.Insert("U", 8), dyndb.Insert("U", 9),
+	)
+	if got := Evaluate(q, db).Len(); got != 6 {
+		t.Errorf("|S×U| = %d, want 6", got)
+	}
+}
+
+func TestCountValuationsVsDistinct(t *testing.T) {
+	q := cq.MustParse("Q(x) :- E(x,y), T(y)")
+	db := mkdb(t,
+		dyndb.Insert("E", 1, 10), dyndb.Insert("E", 1, 11),
+		dyndb.Insert("T", 10), dyndb.Insert("T", 11),
+	)
+	counts := CountValuations(q, db, nil, nil)
+	if len(counts) != 1 {
+		t.Fatalf("distinct heads = %d, want 1", len(counts))
+	}
+	if c := counts[tuplekey.String([]Value{1})]; c != 2 {
+		t.Errorf("multiplicity of (1) = %d, want 2", c)
+	}
+}
+
+func TestCountValuationsPinned(t *testing.T) {
+	// Pin the E atom to (1,10): only valuations through that tuple count.
+	q := cq.MustParse("Q(x) :- E(x,y), T(y)")
+	db := mkdb(t,
+		dyndb.Insert("E", 1, 10), dyndb.Insert("E", 1, 11), dyndb.Insert("E", 2, 10),
+		dyndb.Insert("T", 10), dyndb.Insert("T", 11),
+	)
+	counts := CountValuations(q, db, Pinned{0: []Value{1, 10}}, nil)
+	if len(counts) != 1 || counts[tuplekey.String([]Value{1})] != 1 {
+		t.Errorf("pinned counts = %v", counts)
+	}
+	// Pin to a tuple violating a repeated-variable pattern.
+	q2 := cq.MustParse("Q(x) :- R(x,x)")
+	db2 := mkdb(t, dyndb.Insert("R", 3, 3))
+	counts = CountValuations(q2, db2, Pinned{0: []Value{1, 2}}, nil)
+	if len(counts) != 0 {
+		t.Errorf("inconsistent pin matched: %v", counts)
+	}
+}
+
+func TestPinnedTupleNeedNotBeInRelation(t *testing.T) {
+	// IVM computes deletion deltas by pinning atoms to the tuple being
+	// deleted, which may already be gone from the relation.
+	q := cq.MustParse("Q(x) :- E(x,y), T(y)")
+	db := mkdb(t, dyndb.Insert("T", 10))
+	counts := CountValuations(q, db, Pinned{0: []Value{5, 10}}, nil)
+	if len(counts) != 1 || counts[tuplekey.String([]Value{5})] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestIndexSetMaintenance(t *testing.T) {
+	db := dyndb.New()
+	db.Insert("E", 1, 2)
+	db.Insert("E", 1, 3)
+	idx := NewIndexSet(db)
+	ix := idx.Get("E", 0b01) // index on first position
+	if got := len(ix.bucket([]Value{1})); got != 2 {
+		t.Fatalf("bucket(1) has %d tuples, want 2", got)
+	}
+	db.Insert("E", 1, 4)
+	idx.ApplyUpdate(dyndb.Insert("E", 1, 4))
+	db.Delete("E", 1, 2)
+	idx.ApplyUpdate(dyndb.Delete("E", 1, 2))
+	if got := len(ix.bucket([]Value{1})); got != 2 {
+		t.Fatalf("bucket(1) after updates has %d tuples, want 2", got)
+	}
+	if err := idx.SanityCheck(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIndexSetSecondPosition(t *testing.T) {
+	db := dyndb.New()
+	db.Insert("E", 1, 9)
+	db.Insert("E", 2, 9)
+	db.Insert("E", 3, 8)
+	idx := NewIndexSet(db)
+	ix := idx.Get("E", 0b10)
+	if got := len(ix.bucket([]Value{9})); got != 2 {
+		t.Errorf("bucket(·,9) = %d, want 2", got)
+	}
+}
+
+// TestAgainstBruteForce cross-checks the planner/index machinery against a
+// direct nested-loop evaluation on random databases and a mix of query
+// shapes, including self-joins and quantifiers.
+func TestAgainstBruteForce(t *testing.T) {
+	queries := []*cq.Query{
+		cq.MustParse("Q(x,y) :- S(x), E(x,y), T(y)"),
+		cq.MustParse("Q(x) :- E(x,y), T(y)"),
+		cq.MustParse("Q(x,y) :- E(x,x), E(x,y), E(y,y)"),
+		cq.MustParse("Q() :- E(x,y), E(y,z)"),
+		cq.MustParse("Q(x,z) :- E(x,y), E(y,z)"),
+		cq.MustParse("Q(x,y,z) :- R(x,y,z), E(x,y)"),
+		cq.MustParse("Q(y) :- E(x,y), T(y)"),
+	}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 60; trial++ {
+		db := dyndb.New()
+		nv := int64(1 + rng.Intn(6))
+		for i := 0; i < 25; i++ {
+			switch rng.Intn(4) {
+			case 0:
+				db.Insert("S", rng.Int63n(nv))
+			case 1:
+				db.Insert("T", rng.Int63n(nv))
+			case 2:
+				db.Insert("E", rng.Int63n(nv), rng.Int63n(nv))
+			case 3:
+				db.Insert("R", rng.Int63n(nv), rng.Int63n(nv), rng.Int63n(nv))
+			}
+		}
+		for _, q := range queries {
+			got := Evaluate(q, db)
+			want := bruteForce(q, db)
+			if got.Len() != len(want) {
+				t.Fatalf("trial %d, %s: |got| = %d, |want| = %d", trial, q, got.Len(), len(want))
+			}
+			for k := range want {
+				if !got.Has(tuplekey.Decode(k)) {
+					t.Fatalf("trial %d, %s: missing %v", trial, q, tuplekey.Decode(k))
+				}
+			}
+		}
+	}
+}
+
+// bruteForce evaluates by enumerating all assignments over the active
+// domain — exponential, only for tiny test databases.
+func bruteForce(q *cq.Query, db *dyndb.Database) map[string]bool {
+	vars := q.Vars()
+	adom := db.ActiveDomain()
+	out := map[string]bool{}
+	assign := map[string]Value{}
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(vars) {
+			for _, a := range q.Atoms {
+				t := make([]Value, len(a.Args))
+				for j, v := range a.Args {
+					t[j] = assign[v]
+				}
+				if !db.Has(a.Rel, t...) {
+					return
+				}
+			}
+			head := make([]Value, len(q.Head))
+			for j, h := range q.Head {
+				head[j] = assign[h]
+			}
+			out[tuplekey.String(head)] = true
+			return
+		}
+		for _, v := range adom {
+			assign[vars[i]] = v
+			rec(i + 1)
+		}
+	}
+	if len(adom) > 0 {
+		rec(0)
+	}
+	return out
+}

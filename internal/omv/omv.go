@@ -1,0 +1,253 @@
+// Package omv implements the fine-grained-complexity machinery behind the
+// paper's lower bounds (Section 5): the online matrix–vector
+// multiplication problem (OMv), its vector–matrix–vector variant (OuMv,
+// Theorem 5.1), and the orthogonal vectors problem (OV, Conjecture 5.2),
+// together with naive reference solvers and the paper's reductions from
+// these problems to dynamic query evaluation.
+//
+// The reductions are the constructive content of Theorems 3.3–3.5: they
+// drive any dynamic query-evaluation algorithm (anything satisfying
+// DynamicEvaluator) with update streams encoding matrices and vectors and
+// read the problem's answers off the query results. Plugging in a
+// hypothetical algorithm with O(n^{1−ε}) update and answer/delay/count
+// time would solve OMv/OuMv in O(n^{3−ε}) or OV in O(n^{2−ε}), refuting
+// the conjectures; plugging in the Θ(n)-update IVM baseline (internal/ivm)
+// demonstrates the reductions end to end and realises exactly the cubic
+// cost the conjecture says is unavoidable.
+//
+// All arithmetic is over the Boolean semiring (∧ for ·, ∨ for +).
+package omv
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// Vector is a dense bit vector over the Boolean semiring.
+type Vector struct {
+	n int
+	w []uint64
+}
+
+// NewVector returns an all-zero vector of dimension n.
+func NewVector(n int) Vector {
+	return Vector{n: n, w: make([]uint64, (n+63)/64)}
+}
+
+// Dim returns the dimension.
+func (v Vector) Dim() int { return v.n }
+
+// Set sets bit i (0-based) to b.
+func (v Vector) Set(i int, b bool) {
+	if b {
+		v.w[i/64] |= 1 << uint(i%64)
+	} else {
+		v.w[i/64] &^= 1 << uint(i%64)
+	}
+}
+
+// Get returns bit i.
+func (v Vector) Get(i int) bool {
+	return v.w[i/64]&(1<<uint(i%64)) != 0
+}
+
+// Dot returns the Boolean inner product ⟨u,v⟩ = ∨_i (u_i ∧ v_i).
+func (v Vector) Dot(u Vector) bool {
+	if v.n != u.n {
+		panic("omv: dimension mismatch in Dot")
+	}
+	for i := range v.w {
+		if v.w[i]&u.w[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports whether two vectors agree.
+func (v Vector) Equal(u Vector) bool {
+	if v.n != u.n {
+		return false
+	}
+	for i := range v.w {
+		if v.w[i] != u.w[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of v.
+func (v Vector) Clone() Vector {
+	c := NewVector(v.n)
+	copy(c.w, v.w)
+	return c
+}
+
+// String renders the vector as a 0/1 string, e.g. "1010".
+func (v Vector) String() string {
+	var b strings.Builder
+	for i := 0; i < v.n; i++ {
+		if v.Get(i) {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+// Matrix is a dense Boolean n×n matrix.
+type Matrix struct {
+	n    int
+	rows []Vector
+}
+
+// NewMatrix returns an all-zero n×n matrix.
+func NewMatrix(n int) Matrix {
+	m := Matrix{n: n, rows: make([]Vector, n)}
+	for i := range m.rows {
+		m.rows[i] = NewVector(n)
+	}
+	return m
+}
+
+// Dim returns n.
+func (m Matrix) Dim() int { return m.n }
+
+// Set sets entry (i,j) (0-based).
+func (m Matrix) Set(i, j int, b bool) { m.rows[i].Set(j, b) }
+
+// Get returns entry (i,j).
+func (m Matrix) Get(i, j int) bool { return m.rows[i].Get(j) }
+
+// Row returns row i (shared storage).
+func (m Matrix) Row(i int) Vector { return m.rows[i] }
+
+// MulVec returns M·v over the Boolean semiring: (Mv)_i = ∨_j (M_ij ∧ v_j).
+// This is the O(n²)-per-vector naive algorithm the OMv-conjecture
+// benchmarks against.
+func (m Matrix) MulVec(v Vector) Vector {
+	out := NewVector(m.n)
+	for i := 0; i < m.n; i++ {
+		if m.rows[i].Dot(v) {
+			out.Set(i, true)
+		}
+	}
+	return out
+}
+
+// VecMatVec returns uᵀMv over the Boolean semiring.
+func VecMatVec(u Vector, m Matrix, v Vector) bool {
+	for i := 0; i < m.n; i++ {
+		if u.Get(i) && m.rows[i].Dot(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// NaiveOMv answers an OMv instance: for each vector v_t, M·v_t computed
+// before seeing v_{t+1} (the online restriction is moot for the naive
+// algorithm but kept for interface parity).
+func NaiveOMv(m Matrix, vs []Vector) []Vector {
+	out := make([]Vector, len(vs))
+	for t, v := range vs {
+		out[t] = m.MulVec(v)
+	}
+	return out
+}
+
+// NaiveOuMv answers an OuMv instance: for each pair (u_t, v_t) the bit
+// u_tᵀ M v_t.
+func NaiveOuMv(m Matrix, us, vs []Vector) []bool {
+	if len(us) != len(vs) {
+		panic("omv: |us| != |vs|")
+	}
+	out := make([]bool, len(us))
+	for t := range us {
+		out[t] = VecMatVec(us[t], m, vs[t])
+	}
+	return out
+}
+
+// OVInstance is an orthogonal vectors instance: two sets of n Boolean
+// vectors of dimension d (Section 5.2; the conjecture takes d = ⌈log₂ n⌉).
+type OVInstance struct {
+	U, V []Vector
+}
+
+// NaiveOV reports whether some u ∈ U and v ∈ V are orthogonal
+// (⟨u,v⟩ = 0), by checking all pairs in O(n²d).
+func NaiveOV(inst OVInstance) bool {
+	for _, u := range inst.U {
+		for _, v := range inst.V {
+			if !u.Dot(v) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// RandomVector returns a vector with each bit set independently with
+// probability density.
+func RandomVector(rng *rand.Rand, n int, density float64) Vector {
+	v := NewVector(n)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < density {
+			v.Set(i, true)
+		}
+	}
+	return v
+}
+
+// RandomMatrix returns an n×n matrix with i.i.d. entries of the given
+// density.
+func RandomMatrix(rng *rand.Rand, n int, density float64) Matrix {
+	m := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if rng.Float64() < density {
+				m.Set(i, j, true)
+			}
+		}
+	}
+	return m
+}
+
+// RandomOuMvInstance returns a matrix and n pairs of query vectors.
+func RandomOuMvInstance(rng *rand.Rand, n int, density float64) (Matrix, []Vector, []Vector) {
+	m := RandomMatrix(rng, n, density)
+	us := make([]Vector, n)
+	vs := make([]Vector, n)
+	for t := 0; t < n; t++ {
+		us[t] = RandomVector(rng, n, density)
+		vs[t] = RandomVector(rng, n, density)
+	}
+	return m, us, vs
+}
+
+// RandomOVInstance returns an OV instance with n vectors per side of
+// dimension d; densities are biased low so that orthogonal pairs occur
+// with reasonable probability.
+func RandomOVInstance(rng *rand.Rand, n, d int, density float64) OVInstance {
+	inst := OVInstance{U: make([]Vector, n), V: make([]Vector, n)}
+	for i := 0; i < n; i++ {
+		inst.U[i] = RandomVector(rng, d, density)
+		inst.V[i] = RandomVector(rng, d, density)
+	}
+	return inst
+}
+
+// Log2Ceil returns ⌈log₂ n⌉ (the OV-conjecture's dimension, d = ⌈log₂ n⌉).
+func Log2Ceil(n int) int {
+	d := 0
+	for 1<<uint(d) < n {
+		d++
+	}
+	if d == 0 {
+		d = 1
+	}
+	return d
+}

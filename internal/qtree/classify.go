@@ -1,0 +1,256 @@
+package qtree
+
+import (
+	"sort"
+	"strings"
+
+	"dyncq/internal/cq"
+)
+
+// Classification records where a query falls in the taxonomy of query
+// classes discussed in Sections 1.2 and 3 of the paper, together with the
+// dichotomy verdicts of Theorems 1.1–1.3.
+type Classification struct {
+	Connected    bool
+	SelfJoinFree bool
+	Boolean      bool
+
+	// Hierarchical is condition (i) of Definition 3.1 over all variables —
+	// Dalvi–Suciu for Boolean queries, Koutris–Suciu for join queries.
+	Hierarchical bool
+	// HierarchicalFO is Fink–Olteanu's variant: condition (i) over
+	// quantified variables only.
+	HierarchicalFO bool
+	// QHierarchical is Definition 3.1 (both conditions).
+	QHierarchical bool
+
+	// Acyclic is α-acyclicity of the body hypergraph (GYO reducible).
+	Acyclic bool
+	// FreeConnex: acyclic and still acyclic after adding a hyperedge
+	// covering exactly the free variables (Bagan–Durand–Grandjean's class
+	// with constant-delay static enumeration).
+	FreeConnex bool
+
+	// CoreQHierarchical reports whether the homomorphic core of the query
+	// itself is q-hierarchical (Theorem 3.5's counting dichotomy).
+	CoreQHierarchical bool
+	// BooleanCoreQHierarchical reports whether the core of the Boolean
+	// version ∃x̄ ϕ is q-hierarchical (Theorem 3.4's answering dichotomy).
+	BooleanCoreQHierarchical bool
+}
+
+// Dichotomy verdicts implied by the paper's main theorems, phrased from
+// the data-complexity standpoint (see Theorems 1.1–1.3).
+
+// TractableEnumeration reports whether Theorem 1.1 promises constant-delay
+// enumeration with constant update time. For self-join-free queries this
+// is exact (dichotomy); for queries with self-joins the upper bound of
+// Theorem 3.2 still applies when the query is q-hierarchical, but the
+// lower bound side is open (Section 7).
+func (c Classification) TractableEnumeration() bool { return c.QHierarchical }
+
+// TractableCounting reports whether Theorem 1.3 promises constant-time
+// counting with constant update time (iff the query's core is
+// q-hierarchical).
+func (c Classification) TractableCounting() bool { return c.CoreQHierarchical }
+
+// TractableAnswering reports whether Theorem 1.2 promises constant-time
+// Boolean answering with constant update time (iff the core of the
+// Boolean version is q-hierarchical).
+func (c Classification) TractableAnswering() bool { return c.BooleanCoreQHierarchical }
+
+// Classify computes the full classification of q.
+func Classify(q *cq.Query) Classification {
+	core := cq.Core(q)
+	boolCore := cq.Core(cq.BooleanVersion(q))
+	return Classification{
+		Connected:                q.IsConnected(),
+		SelfJoinFree:             q.IsSelfJoinFree(),
+		Boolean:                  q.IsBoolean(),
+		Hierarchical:             q.IsHierarchical(),
+		HierarchicalFO:           q.IsHierarchicalFinkOlteanu(),
+		QHierarchical:            IsQHierarchical(q),
+		Acyclic:                  IsAcyclic(q),
+		FreeConnex:               IsFreeConnex(q),
+		CoreQHierarchical:        IsQHierarchical(core),
+		BooleanCoreQHierarchical: IsQHierarchical(boolCore),
+	}
+}
+
+// String renders the classification as a compact multi-line report.
+func (c Classification) String() string {
+	var b strings.Builder
+	flag := func(name string, v bool) {
+		b.WriteString("  ")
+		b.WriteString(name)
+		b.WriteString(": ")
+		if v {
+			b.WriteString("yes")
+		} else {
+			b.WriteString("no")
+		}
+		b.WriteByte('\n')
+	}
+	flag("connected", c.Connected)
+	flag("self-join free", c.SelfJoinFree)
+	flag("Boolean", c.Boolean)
+	flag("hierarchical (Koutris–Suciu)", c.Hierarchical)
+	flag("hierarchical (Fink–Olteanu)", c.HierarchicalFO)
+	flag("acyclic", c.Acyclic)
+	flag("free-connex", c.FreeConnex)
+	flag("q-hierarchical", c.QHierarchical)
+	flag("core q-hierarchical", c.CoreQHierarchical)
+	flag("Boolean core q-hierarchical", c.BooleanCoreQHierarchical)
+	return b.String()
+}
+
+// IsAcyclic reports whether the query's body hypergraph is α-acyclic,
+// decided by the GYO reduction: repeatedly delete vertices occurring in at
+// most one hyperedge and hyperedges contained in other hyperedges; the
+// hypergraph is acyclic iff everything reduces away (at most one, possibly
+// empty, edge remains).
+func IsAcyclic(q *cq.Query) bool {
+	var edges []map[string]bool
+	for _, a := range q.Atoms {
+		e := make(map[string]bool)
+		for _, v := range a.Args {
+			e[v] = true
+		}
+		edges = append(edges, e)
+	}
+	return gyoReducible(edges)
+}
+
+// IsFreeConnex reports whether the query is free-connex acyclic: acyclic,
+// and acyclic after adding a hyperedge consisting of exactly the free
+// variables (the standard characterisation used in the constant-delay
+// enumeration literature the paper builds on). Boolean and quantifier-free
+// queries are free-connex iff they are acyclic.
+func IsFreeConnex(q *cq.Query) bool {
+	if !IsAcyclic(q) {
+		return false
+	}
+	if len(q.Head) == 0 {
+		return true
+	}
+	var edges []map[string]bool
+	for _, a := range q.Atoms {
+		e := make(map[string]bool)
+		for _, v := range a.Args {
+			e[v] = true
+		}
+		edges = append(edges, e)
+	}
+	headEdge := make(map[string]bool)
+	for _, h := range q.Head {
+		headEdge[h] = true
+	}
+	edges = append(edges, headEdge)
+	return gyoReducible(edges)
+}
+
+// gyoReducible runs the GYO ear-removal loop to fixpoint.
+func gyoReducible(edges []map[string]bool) bool {
+	// Work on copies.
+	es := make([]map[string]bool, len(edges))
+	for i, e := range edges {
+		c := make(map[string]bool, len(e))
+		for v := range e {
+			c[v] = true
+		}
+		es[i] = c
+	}
+	alive := make([]bool, len(es))
+	aliveCount := len(es)
+	for i := range alive {
+		alive[i] = true
+	}
+	for {
+		changed := false
+		// Rule 1: delete vertices occurring in at most one live edge.
+		occ := make(map[string]int)
+		for i, e := range es {
+			if !alive[i] {
+				continue
+			}
+			for v := range e {
+				occ[v]++
+			}
+		}
+		for i, e := range es {
+			if !alive[i] {
+				continue
+			}
+			for v := range e {
+				if occ[v] <= 1 {
+					delete(e, v)
+					changed = true
+				}
+			}
+		}
+		// Rule 2: delete edges contained in another live edge (empty edges
+		// are contained in any edge; a duplicate pair deletes one side).
+		for i := range es {
+			if !alive[i] {
+				continue
+			}
+			for j := range es {
+				if i == j || !alive[j] {
+					continue
+				}
+				if containedIn(es[i], es[j]) {
+					alive[i] = false
+					aliveCount--
+					changed = true
+					break
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	if aliveCount == 0 {
+		return true
+	}
+	if aliveCount == 1 {
+		return true // a single remaining edge is an ear of itself
+	}
+	return false
+}
+
+func containedIn(a, b map[string]bool) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	for v := range a {
+		if !b[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// TreeSignature returns a canonical one-line rendering of the tree
+// structure, e.g. "x1(x2(x3,x5),x4)" — children sorted by variable name.
+// Used by tests to compare trees against the paper's figures without
+// depending on child order.
+func TreeSignature(t *Tree) string {
+	var rec func(n int) string
+	rec = func(n int) string {
+		node := t.Nodes[n]
+		if len(node.Children) == 0 {
+			return node.Var
+		}
+		parts := make([]string, 0, len(node.Children))
+		for _, c := range node.Children {
+			parts = append(parts, rec(c))
+		}
+		sort.Strings(parts)
+		return node.Var + "(" + strings.Join(parts, ",") + ")"
+	}
+	if len(t.Nodes) == 0 {
+		return ""
+	}
+	return rec(0)
+}

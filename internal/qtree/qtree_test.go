@@ -1,0 +1,427 @@
+package qtree
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dyncq/internal/cq"
+)
+
+var (
+	qSET     = cq.MustParse("Q(x,y) :- S(x), E(x,y), T(y)")
+	qSETBool = cq.MustParse("Q() :- S(x), E(x,y), T(y)")
+	qET      = cq.MustParse("Q(x) :- E(x,y), T(y)")
+	qETFreeY = cq.MustParse("Q(y) :- E(x,y), T(y)")
+	qETJoin  = cq.MustParse("Q(x,y) :- E(x,y), T(y)")
+	qETBool  = cq.MustParse("Q() :- E(x,y), T(y)")
+	qEx61    = cq.MustParse("Q(x,y,z,yp,zp) :- R(x,y,z), R(x,y,zp), E(x,y), E(x,yp), S(x,y,z)")
+	qFig1    = cq.MustParse("Q(x1,x2,x3) :- E(x1,x2), R(x4,x1,x2,x1), R(x5,x3,x2,x1)")
+	qLoops   = cq.MustParse("Q() :- E(x,x), E(x,y), E(y,y)")
+	qPhi1    = cq.MustParse("Q(x,y) :- E(x,x), E(x,y), E(y,y)")
+	qPhi2    = cq.MustParse("Q(x,y,z1,z2) :- E(x,x), E(x,y), E(y,y), E(z1,z2)")
+)
+
+// TestFigure1 reproduces experiment E1: the paper's Figure 1 shows two
+// q-trees for ϕ(x1,x2,x3) = ∃x4∃x5 (Ex1x2 ∧ Rx4x1x2x1 ∧ Rx5x3x2x1). Our
+// deterministic builder emits the left tree (rooted at x1); the validator
+// accepts both printed trees and rejects a corrupted variant.
+func TestFigure1(t *testing.T) {
+	tree, err := Build(qFig1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(tree, qFig1); err != nil {
+		t.Fatalf("built tree invalid: %v", err)
+	}
+	// Left tree of Figure 1: x1 → x2 → {x3 → x5, x4}.
+	if sig := TreeSignature(tree); sig != "x1(x2(x3(x5),x4))" {
+		t.Errorf("builder tree = %s, want x1(x2(x3(x5),x4))", sig)
+	}
+	// Right tree of Figure 1: x2 → x1 → {x3 → x5, x4}; construct by hand.
+	right := manualTree(qFig1, "x2", map[string]string{
+		"x1": "x2", "x3": "x1", "x4": "x1", "x5": "x3",
+	})
+	if err := Validate(right, qFig1); err != nil {
+		t.Errorf("paper's right tree rejected: %v", err)
+	}
+	// Corrupted: x4 under x3 breaks condition (1) for atom R(x4,x1,x2,x1).
+	bad := manualTree(qFig1, "x2", map[string]string{
+		"x1": "x2", "x3": "x1", "x4": "x3", "x5": "x3",
+	})
+	if err := Validate(bad, qFig1); err == nil {
+		t.Error("corrupted tree accepted")
+	}
+}
+
+// TestFigure2 reproduces experiment E2: the q-tree of Example 6.1's query
+// as shown in Figure 2, with document order x, y, z, z', y' (free children
+// first, ties by first occurrence) as used by Table 1.
+func TestFigure2(t *testing.T) {
+	tree, err := Build(qEx61)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(tree, qEx61); err != nil {
+		t.Fatal(err)
+	}
+	if sig := TreeSignature(tree); sig != "x(y(z,zp),yp)" {
+		t.Errorf("tree = %s, want x(y(z,zp),yp)", sig)
+	}
+	var docOrder []string
+	for _, n := range tree.Nodes {
+		docOrder = append(docOrder, n.Var)
+	}
+	if got := strings.Join(docOrder, ","); got != "x,y,z,zp,yp" {
+		t.Errorf("document order = %s, want x,y,z,zp,yp", got)
+	}
+	if tree.FreeCount != 5 {
+		t.Errorf("FreeCount = %d, want 5 (join query)", tree.FreeCount)
+	}
+}
+
+// manualTree builds a Tree from a root variable and a parent map, for
+// validator tests. Free flags are taken from q.
+func manualTree(q *cq.Query, root string, parentOf map[string]string) *Tree {
+	t := &Tree{VarNode: map[string]int{}}
+	t.Nodes = append(t.Nodes, Node{Var: root, Free: q.IsFree(root), Parent: -1, Depth: 0})
+	t.VarNode[root] = 0
+	// Insert nodes whose parents are present until done.
+	for len(t.VarNode) < len(parentOf)+1 {
+		progress := false
+		for v, p := range parentOf {
+			if _, done := t.VarNode[v]; done {
+				continue
+			}
+			pi, ok := t.VarNode[p]
+			if !ok {
+				continue
+			}
+			idx := len(t.Nodes)
+			t.Nodes = append(t.Nodes, Node{Var: v, Free: q.IsFree(v), Parent: pi, Depth: t.Nodes[pi].Depth + 1})
+			t.VarNode[v] = idx
+			t.Nodes[pi].Children = append(t.Nodes[pi].Children, idx)
+			progress = true
+		}
+		if !progress {
+			panic("manualTree: cyclic or disconnected parent map")
+		}
+	}
+	for _, n := range t.Nodes {
+		if n.Free {
+			t.FreeCount++
+		}
+	}
+	return t
+}
+
+// TestPaperTaxonomy is experiment E13: the classification of every query
+// the paper discusses explicitly in Sections 3 and 7.
+func TestPaperTaxonomy(t *testing.T) {
+	cases := []struct {
+		name string
+		q    *cq.Query
+		want func(c Classification) string // returns "" if OK
+	}{
+		{"ϕS-E-T", qSET, func(c Classification) string {
+			switch {
+			case c.QHierarchical:
+				return "must not be q-hierarchical"
+			case c.Hierarchical:
+				return "must not be hierarchical (Koutris–Suciu)"
+			case !c.HierarchicalFO:
+				return "must be hierarchical (Fink–Olteanu)"
+			case !c.FreeConnex:
+				return "must be free-connex (static setting is easy)"
+			case c.TractableEnumeration() || c.TractableCounting() || c.TractableAnswering():
+				return "all three dynamic tasks must be hard"
+			}
+			return ""
+		}},
+		{"ϕ'S-E-T", qSETBool, func(c Classification) string {
+			switch {
+			case c.QHierarchical:
+				return "must not be q-hierarchical"
+			case c.TractableAnswering():
+				return "Boolean answering must be hard (Lemma 5.3)"
+			}
+			return ""
+		}},
+		{"ϕE-T", qET, func(c Classification) string {
+			switch {
+			case !c.Hierarchical:
+				return "must be hierarchical"
+			case c.QHierarchical:
+				return "must not be q-hierarchical (violates (ii))"
+			case !c.FreeConnex:
+				return "must be free-connex"
+			case c.TractableEnumeration():
+				return "enumeration must be hard (Lemma 5.4)"
+			case c.TractableCounting():
+				return "counting must be hard (Lemma 5.5)"
+			case !c.TractableAnswering():
+				return "Boolean version is q-hierarchical, answering easy"
+			}
+			return ""
+		}},
+		{"ϕE-T variant ∃x", qETFreeY, func(c Classification) string {
+			if !c.QHierarchical {
+				return "must be q-hierarchical (Section 3)"
+			}
+			return ""
+		}},
+		{"ϕE-T variant join", qETJoin, func(c Classification) string {
+			if !c.QHierarchical {
+				return "must be q-hierarchical (Section 3)"
+			}
+			return ""
+		}},
+		{"ϕE-T variant Boolean", qETBool, func(c Classification) string {
+			if !c.QHierarchical {
+				return "must be q-hierarchical (Section 3)"
+			}
+			return ""
+		}},
+		{"∃x∃y(Exx∧Exy∧Eyy)", qLoops, func(c Classification) string {
+			switch {
+			case c.QHierarchical:
+				return "must not be q-hierarchical"
+			case !c.CoreQHierarchical:
+				return "core ∃x Exx must be q-hierarchical"
+			case !c.TractableAnswering():
+				return "answering must be easy via the core"
+			}
+			return ""
+		}},
+		{"ϕ1(x,y)", qPhi1, func(c Classification) string {
+			switch {
+			case c.QHierarchical:
+				return "must not be q-hierarchical"
+			case c.CoreQHierarchical:
+				return "ϕ1 is its own (non-q-hierarchical) core"
+			case c.TractableCounting():
+				return "counting must be hard (§5.4 discussion)"
+			case !c.TractableAnswering():
+				return "Boolean core is ∃x Exx: answering easy"
+			}
+			return ""
+		}},
+		{"ϕ2(x,y,z1,z2)", qPhi2, func(c Classification) string {
+			if c.QHierarchical {
+				return "ϕ2 is not q-hierarchical (Section 7)"
+			}
+			return ""
+		}},
+		{"Example 6.1", qEx61, func(c Classification) string {
+			if !c.QHierarchical || !c.TractableEnumeration() {
+				return "must be q-hierarchical"
+			}
+			return ""
+		}},
+		{"Figure 1", qFig1, func(c Classification) string {
+			if !c.QHierarchical {
+				return "must be q-hierarchical"
+			}
+			return ""
+		}},
+	}
+	for _, tc := range cases {
+		c := Classify(tc.q)
+		if msg := tc.want(c); msg != "" {
+			t.Errorf("%s (%s): %s\n%s", tc.name, tc.q, msg, c)
+		}
+	}
+}
+
+func TestBuildRejectsNonQHierarchical(t *testing.T) {
+	for _, q := range []*cq.Query{qSET, qSETBool, qET, qPhi1} {
+		_, err := BuildForest(q)
+		if err == nil {
+			t.Errorf("BuildForest(%s) succeeded, want ErrNotQHierarchical", q)
+			continue
+		}
+		if !errors.Is(err, ErrNotQHierarchical) {
+			t.Errorf("BuildForest(%s) error %v does not wrap ErrNotQHierarchical", q, err)
+		}
+	}
+}
+
+func TestBuildRequiresConnected(t *testing.T) {
+	q := cq.MustParse("Q(x,u) :- E(x), F(u)")
+	if _, err := Build(q); err == nil {
+		t.Error("Build accepted a disconnected query")
+	}
+	forest, err := BuildForest(q)
+	if err != nil || len(forest) != 2 {
+		t.Errorf("BuildForest: %v, %d trees", err, len(forest))
+	}
+}
+
+func TestBuildSingleVariable(t *testing.T) {
+	q := cq.MustParse("Q(x) :- E(x,x)")
+	tree, err := Build(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tree.Nodes) != 1 || tree.Nodes[0].Var != "x" {
+		t.Errorf("tree = %v", tree.Nodes)
+	}
+	if err := Validate(tree, q); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPathVars(t *testing.T) {
+	tree, err := Build(qEx61)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := tree.VarNode["z"]
+	if got := strings.Join(tree.PathVars(z), ","); got != "x,y,z" {
+		t.Errorf("PathVars(z) = %s", got)
+	}
+}
+
+func TestTreeString(t *testing.T) {
+	tree, err := Build(qEx61)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tree.String()
+	for _, want := range []string{"x (free)", "├─ ", "└─ "} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestAcyclicity(t *testing.T) {
+	cases := []struct {
+		q       string
+		acyclic bool
+	}{
+		{"Q() :- E(x,y), E2(y,z), E3(z,x)", false},       // triangle
+		{"Q() :- E(x,y), E2(y,z), E3(z,w)", true},        // path
+		{"Q() :- S(x), E(x,y), T(y)", true},              // ϕS-E-T body
+		{"Q() :- R(x,y,z), S(y,z,w), T(z,w,x)", false},   // 3-cycle of triples
+		{"Q() :- R(x,y,z), S(x,y), T(y,z)", true},        // ear-reducible
+		{"Q() :- E(x,y), F(y,z), G(z,u), H(u,y)", false}, // cycle y-z-u
+		{"Q() :- E(x,x)", true},
+	}
+	for _, c := range cases {
+		q := cq.MustParse(c.q)
+		if got := IsAcyclic(q); got != c.acyclic {
+			t.Errorf("IsAcyclic(%s) = %v, want %v", c.q, got, c.acyclic)
+		}
+	}
+}
+
+func TestFreeConnex(t *testing.T) {
+	cases := []struct {
+		q  string
+		fc bool
+	}{
+		// Path with endpoints free: the classic non-free-connex example.
+		{"Q(x,z) :- E(x,y), F(y,z)", false},
+		{"Q(x,y) :- E(x,y), F(y,z)", true},
+		{"Q(x) :- E(x,y), T(y)", true},   // ϕE-T
+		{"Q(x,y) :- S(x), E(x,y), T(y)", true}, // ϕS-E-T
+		{"Q() :- E(x,y), E2(y,z), E3(z,x)", false}, // cyclic
+	}
+	for _, c := range cases {
+		q := cq.MustParse(c.q)
+		if got := IsFreeConnex(q); got != c.fc {
+			t.Errorf("IsFreeConnex(%s) = %v, want %v", c.q, got, c.fc)
+		}
+	}
+}
+
+// TestQHierarchicalSubsetOfFreeConnex spot-checks the paper's claim that
+// q-hierarchical CQs are a proper subclass of free-connex CQs.
+func TestQHierarchicalSubsetOfFreeConnex(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	properWitness := false
+	for i := 0; i < 500; i++ {
+		q := randomQuery(rng)
+		if IsQHierarchical(q) && !IsFreeConnex(q) {
+			t.Fatalf("q-hierarchical but not free-connex: %s", q)
+		}
+		if !IsQHierarchical(q) && IsFreeConnex(q) {
+			properWitness = true
+		}
+	}
+	if !properWitness {
+		t.Error("no witness for properness found in 500 random queries")
+	}
+}
+
+// TestBuildMatchesDefinition is the central property test: the q-tree
+// based decision procedure agrees with the brute-force Definition 3.1
+// check on random queries, and every built tree passes the independent
+// Definition 4.1 validator.
+func TestBuildMatchesDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	agree := 0
+	for i := 0; i < 3000; i++ {
+		q := randomQuery(rng)
+		want := q.IsQHierarchicalByDefinition()
+		forest, err := BuildForest(q)
+		got := err == nil
+		if got != want {
+			t.Fatalf("disagreement on %s: q-tree %v, definition %v (err: %v)", q, got, want, err)
+		}
+		if got {
+			agree++
+			comps := q.Components()
+			for j, tree := range forest {
+				if verr := Validate(tree, comps[j]); verr != nil {
+					t.Fatalf("built tree for %s fails validation: %v", comps[j], verr)
+				}
+			}
+		}
+	}
+	if agree == 0 || agree == 3000 {
+		t.Errorf("degenerate sample: %d/3000 q-hierarchical", agree)
+	}
+}
+
+// randomQuery generates a small arbitrary CQ (not necessarily
+// q-hierarchical): up to 5 variables, up to 4 atoms of arity up to 3,
+// random free set.
+func randomQuery(rng *rand.Rand) *cq.Query {
+	varPool := []string{"a", "b", "c", "d", "e"}
+	nVars := 1 + rng.Intn(len(varPool))
+	vars := varPool[:nVars]
+	nAtoms := 1 + rng.Intn(4)
+	q := &cq.Query{Name: "Q"}
+	used := map[string]bool{}
+	for i := 0; i < nAtoms; i++ {
+		arity := 1 + rng.Intn(3)
+		args := make([]string, arity)
+		for j := range args {
+			args[j] = vars[rng.Intn(nVars)]
+			used[args[j]] = true
+		}
+		// Random relation name: reuse allowed (self-joins) but arity must
+		// match; name relations by arity to keep schemas consistent.
+		rel := string(rune('R'+rng.Intn(3))) + string(rune('0'+arity))
+		q.Atoms = append(q.Atoms, cq.Atom{Rel: rel, Args: args})
+	}
+	for _, v := range vars {
+		if used[v] && rng.Intn(2) == 0 {
+			q.Head = append(q.Head, v)
+		}
+	}
+	if err := q.Validate(); err != nil {
+		panic(err)
+	}
+	return q
+}
+
+func TestClassificationString(t *testing.T) {
+	s := Classify(qET).String()
+	if !strings.Contains(s, "q-hierarchical: no") || !strings.Contains(s, "free-connex: yes") {
+		t.Errorf("classification rendering wrong:\n%s", s)
+	}
+}

@@ -1,0 +1,252 @@
+// Package tuplekey provides hashing, encoding, and an open-addressing hash
+// map for tuples of int64 constants.
+//
+// The paper's RAM model (Section 2, footnote 2) assumes d-ary arrays A_v
+// indexed by tuples of domain elements with constant-time access, and notes
+// that "for an implementation on real-world computers one would probably
+// have to resort to ... suitably designed hash functions". Map is exactly
+// that replacement: a linear-probing open-addressing table keyed by []int64
+// tuples with expected O(1) lookup, insert and delete. It is the index
+// structure behind every A_v array of the dynamic engine as well as the
+// relation storage of the dynamic database.
+package tuplekey
+
+// Hash returns a 64-bit hash of the tuple. Each element is diffused with a
+// splitmix64-style finaliser and folded into the running hash, so tuples
+// differing in any single position or in length hash differently with high
+// probability. The function is deterministic across runs.
+func Hash(key []int64) uint64 {
+	h := uint64(0x9e3779b97f4a7c15) ^ (uint64(len(key)) * 0xff51afd7ed558ccd)
+	for _, x := range key {
+		z := uint64(x) + 0x9e3779b97f4a7c15
+		z ^= z >> 30
+		z *= 0xbf58476d1ce4e5b9
+		z ^= z >> 27
+		z *= 0x94d049bb133111eb
+		z ^= z >> 31
+		h ^= z
+		h *= 0xc2b2ae3d27d4eb4f
+		h ^= h >> 29
+	}
+	return h
+}
+
+// Equal reports whether two tuples have the same length and elements.
+func Equal(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, x := range a {
+		if x != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String encodes a tuple as a raw byte string, suitable as a Go map key.
+// Distinct tuples map to distinct strings (8 bytes per element,
+// little-endian), so it is a perfect encoding rather than a hash.
+func String(key []int64) string {
+	buf := make([]byte, 8*len(key))
+	for i, x := range key {
+		u := uint64(x)
+		off := 8 * i
+		buf[off+0] = byte(u)
+		buf[off+1] = byte(u >> 8)
+		buf[off+2] = byte(u >> 16)
+		buf[off+3] = byte(u >> 24)
+		buf[off+4] = byte(u >> 32)
+		buf[off+5] = byte(u >> 40)
+		buf[off+6] = byte(u >> 48)
+		buf[off+7] = byte(u >> 56)
+	}
+	return string(buf)
+}
+
+// Decode reverses String, returning the tuple encoded in s.
+// It panics if len(s) is not a multiple of 8.
+func Decode(s string) []int64 {
+	if len(s)%8 != 0 {
+		panic("tuplekey: Decode on string whose length is not a multiple of 8")
+	}
+	out := make([]int64, len(s)/8)
+	for i := range out {
+		off := 8 * i
+		u := uint64(s[off+0]) | uint64(s[off+1])<<8 | uint64(s[off+2])<<16 |
+			uint64(s[off+3])<<24 | uint64(s[off+4])<<32 | uint64(s[off+5])<<40 |
+			uint64(s[off+6])<<48 | uint64(s[off+7])<<56
+		out[i] = int64(u)
+	}
+	return out
+}
+
+const (
+	slotEmpty uint8 = iota
+	slotFull
+	slotTombstone
+)
+
+// Map is a hash map from []int64 tuples to values of type V, implemented
+// with open addressing and linear probing. The zero value is ready to use.
+//
+// Keys passed to Put are stored by reference: the caller must not mutate a
+// key slice after handing it to Put. Keys passed to Get and Delete are only
+// read during the call.
+type Map[V any] struct {
+	ctrl  []uint8
+	keys  [][]int64
+	vals  []V
+	n     int // live entries
+	tombs int // tombstones
+}
+
+// NewMap returns a map pre-sized for about hint entries.
+func NewMap[V any](hint int) *Map[V] {
+	m := &Map[V]{}
+	if hint > 0 {
+		m.rehash(capacityFor(hint))
+	}
+	return m
+}
+
+func capacityFor(n int) int {
+	c := 8
+	for c*3 < n*4 { // keep load factor under 3/4
+		c *= 2
+	}
+	return c
+}
+
+// Len returns the number of live entries.
+func (m *Map[V]) Len() int { return m.n }
+
+// Get returns the value stored under key.
+func (m *Map[V]) Get(key []int64) (V, bool) {
+	var zero V
+	if len(m.ctrl) == 0 {
+		return zero, false
+	}
+	mask := uint64(len(m.ctrl) - 1)
+	i := Hash(key) & mask
+	for {
+		switch m.ctrl[i] {
+		case slotEmpty:
+			return zero, false
+		case slotFull:
+			if Equal(m.keys[i], key) {
+				return m.vals[i], true
+			}
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// Put stores val under key, replacing any existing entry.
+func (m *Map[V]) Put(key []int64, val V) {
+	if len(m.ctrl) == 0 || (m.n+m.tombs+1)*4 > len(m.ctrl)*3 {
+		m.grow()
+	}
+	mask := uint64(len(m.ctrl) - 1)
+	i := Hash(key) & mask
+	firstTomb := -1
+	for {
+		switch m.ctrl[i] {
+		case slotEmpty:
+			if firstTomb >= 0 {
+				i = uint64(firstTomb)
+				m.tombs--
+			}
+			m.ctrl[i] = slotFull
+			m.keys[i] = key
+			m.vals[i] = val
+			m.n++
+			return
+		case slotTombstone:
+			if firstTomb < 0 {
+				firstTomb = int(i)
+			}
+		case slotFull:
+			if Equal(m.keys[i], key) {
+				m.vals[i] = val
+				return
+			}
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// Delete removes the entry under key, reporting whether it was present.
+func (m *Map[V]) Delete(key []int64) bool {
+	if len(m.ctrl) == 0 {
+		return false
+	}
+	mask := uint64(len(m.ctrl) - 1)
+	i := Hash(key) & mask
+	for {
+		switch m.ctrl[i] {
+		case slotEmpty:
+			return false
+		case slotFull:
+			if Equal(m.keys[i], key) {
+				var zero V
+				m.ctrl[i] = slotTombstone
+				m.keys[i] = nil
+				m.vals[i] = zero
+				m.n--
+				m.tombs++
+				return true
+			}
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// Range calls fn for every entry until fn returns false. The iteration
+// order is unspecified. The map must not be modified during Range.
+func (m *Map[V]) Range(fn func(key []int64, val V) bool) {
+	for i, c := range m.ctrl {
+		if c == slotFull {
+			if !fn(m.keys[i], m.vals[i]) {
+				return
+			}
+		}
+	}
+}
+
+func (m *Map[V]) grow() {
+	newCap := 8
+	if len(m.ctrl) > 0 {
+		// Grow only if live entries dominate; otherwise rehash at the same
+		// size to clear tombstones.
+		if m.n*2 >= len(m.ctrl) {
+			newCap = len(m.ctrl) * 2
+		} else {
+			newCap = len(m.ctrl)
+		}
+	}
+	m.rehash(newCap)
+}
+
+func (m *Map[V]) rehash(newCap int) {
+	oldCtrl, oldKeys, oldVals := m.ctrl, m.keys, m.vals
+	m.ctrl = make([]uint8, newCap)
+	m.keys = make([][]int64, newCap)
+	m.vals = make([]V, newCap)
+	m.n = 0
+	m.tombs = 0
+	mask := uint64(newCap - 1)
+	for i, c := range oldCtrl {
+		if c != slotFull {
+			continue
+		}
+		j := Hash(oldKeys[i]) & mask
+		for m.ctrl[j] == slotFull {
+			j = (j + 1) & mask
+		}
+		m.ctrl[j] = slotFull
+		m.keys[j] = oldKeys[i]
+		m.vals[j] = oldVals[i]
+		m.n++
+	}
+}

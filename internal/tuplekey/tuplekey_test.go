@@ -1,0 +1,300 @@
+package tuplekey
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestStringDecodeRoundTrip(t *testing.T) {
+	cases := [][]int64{
+		nil,
+		{},
+		{0},
+		{1, 2, 3},
+		{-1, -2, 1 << 62, -(1 << 62)},
+		{42},
+	}
+	for _, c := range cases {
+		got := Decode(String(c))
+		if !Equal(got, c) {
+			t.Errorf("Decode(String(%v)) = %v", c, got)
+		}
+	}
+}
+
+func TestStringInjective(t *testing.T) {
+	seen := map[string][]int64{}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		k := randTuple(rng, rng.Intn(5))
+		s := String(k)
+		if prev, ok := seen[s]; ok && !Equal(prev, k) {
+			t.Fatalf("collision: %v and %v encode to same string", prev, k)
+		}
+		seen[s] = k
+	}
+}
+
+func TestDecodeBadLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Decode on 3-byte string did not panic")
+		}
+	}()
+	Decode("abc")
+}
+
+func TestEqual(t *testing.T) {
+	cases := []struct {
+		a, b []int64
+		want bool
+	}{
+		{nil, nil, true},
+		{nil, []int64{}, true},
+		{[]int64{1}, []int64{1}, true},
+		{[]int64{1}, []int64{2}, false},
+		{[]int64{1, 2}, []int64{1}, false},
+		{[]int64{1, 2}, []int64{1, 2}, true},
+	}
+	for _, c := range cases {
+		if got := Equal(c.a, c.b); got != c.want {
+			t.Errorf("Equal(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestHashRespectsLength(t *testing.T) {
+	// Tuples that are prefixes of each other must (very likely) differ.
+	if Hash([]int64{1}) == Hash([]int64{1, 0}) {
+		t.Error("Hash([1]) == Hash([1,0])")
+	}
+	if Hash(nil) == Hash([]int64{0}) {
+		t.Error("Hash(nil) == Hash([0])")
+	}
+}
+
+func TestMapBasic(t *testing.T) {
+	m := NewMap[int](0)
+	if _, ok := m.Get([]int64{1}); ok {
+		t.Error("Get on empty map reported ok")
+	}
+	m.Put([]int64{1, 2}, 12)
+	m.Put([]int64{1, 3}, 13)
+	m.Put([]int64{1}, 1)
+	if m.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", m.Len())
+	}
+	if v, ok := m.Get([]int64{1, 2}); !ok || v != 12 {
+		t.Errorf("Get([1 2]) = %d,%v", v, ok)
+	}
+	m.Put([]int64{1, 2}, 99) // overwrite
+	if v, _ := m.Get([]int64{1, 2}); v != 99 {
+		t.Errorf("after overwrite Get = %d", v)
+	}
+	if m.Len() != 3 {
+		t.Errorf("Len after overwrite = %d, want 3", m.Len())
+	}
+	if !m.Delete([]int64{1, 2}) {
+		t.Error("Delete existing returned false")
+	}
+	if m.Delete([]int64{1, 2}) {
+		t.Error("Delete absent returned true")
+	}
+	if _, ok := m.Get([]int64{1, 2}); ok {
+		t.Error("Get after Delete reported ok")
+	}
+	if m.Len() != 2 {
+		t.Errorf("Len after delete = %d, want 2", m.Len())
+	}
+}
+
+func TestMapZeroValueUsable(t *testing.T) {
+	var m Map[string]
+	m.Put([]int64{7}, "seven")
+	if v, ok := m.Get([]int64{7}); !ok || v != "seven" {
+		t.Errorf("zero-value map Get = %q,%v", v, ok)
+	}
+}
+
+func TestMapEmptyKey(t *testing.T) {
+	m := NewMap[int](4)
+	m.Put([]int64{}, 5)
+	if v, ok := m.Get(nil); !ok || v != 5 {
+		t.Errorf("Get(nil) after Put([]) = %d,%v", v, ok)
+	}
+}
+
+func TestMapGrowAndTombstones(t *testing.T) {
+	m := NewMap[int](0)
+	const n = 5000
+	for i := 0; i < n; i++ {
+		m.Put([]int64{int64(i), int64(i * 7)}, i)
+	}
+	if m.Len() != n {
+		t.Fatalf("Len = %d, want %d", m.Len(), n)
+	}
+	// Delete evens, verify odds survive.
+	for i := 0; i < n; i += 2 {
+		if !m.Delete([]int64{int64(i), int64(i * 7)}) {
+			t.Fatalf("Delete(%d) failed", i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		v, ok := m.Get([]int64{int64(i), int64(i * 7)})
+		if i%2 == 0 && ok {
+			t.Fatalf("deleted key %d still present", i)
+		}
+		if i%2 == 1 && (!ok || v != i) {
+			t.Fatalf("key %d: got %d,%v", i, v, ok)
+		}
+	}
+	// Churn on the same keys to exercise tombstone reuse and same-size rehash.
+	for round := 0; round < 10; round++ {
+		for i := 0; i < n; i += 2 {
+			m.Put([]int64{int64(i), int64(i * 7)}, i+round)
+		}
+		for i := 0; i < n; i += 2 {
+			m.Delete([]int64{int64(i), int64(i * 7)})
+		}
+	}
+	if m.Len() != n/2 {
+		t.Fatalf("Len after churn = %d, want %d", m.Len(), n/2)
+	}
+}
+
+func TestMapRange(t *testing.T) {
+	m := NewMap[int](0)
+	want := map[string]int{}
+	for i := 0; i < 100; i++ {
+		k := []int64{int64(i % 10), int64(i)}
+		m.Put(k, i)
+		want[String(k)] = i
+	}
+	got := map[string]int{}
+	m.Range(func(k []int64, v int) bool {
+		got[String(k)] = v
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("Range visited %d entries, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("Range mismatch for %v: got %d want %d", Decode(k), got[k], v)
+		}
+	}
+	// Early stop.
+	count := 0
+	m.Range(func([]int64, int) bool { count++; return count < 5 })
+	if count != 5 {
+		t.Errorf("early-stop Range visited %d, want 5", count)
+	}
+}
+
+func randTuple(rng *rand.Rand, n int) []int64 {
+	t := make([]int64, n)
+	for i := range t {
+		t[i] = int64(rng.Intn(20)) - 5
+	}
+	return t
+}
+
+// TestMapAgainstModel drives Map and a Go map through the same random
+// operation sequence and checks they agree at every step.
+func TestMapAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	m := NewMap[int](0)
+	model := map[string]int{}
+	for step := 0; step < 200000; step++ {
+		k := randTuple(rng, 1+rng.Intn(3))
+		ks := String(k)
+		switch rng.Intn(3) {
+		case 0: // put
+			v := rng.Int()
+			m.Put(k, v)
+			model[ks] = v
+		case 1: // delete
+			got := m.Delete(k)
+			_, want := model[ks]
+			if got != want {
+				t.Fatalf("step %d: Delete(%v) = %v, model %v", step, k, got, want)
+			}
+			delete(model, ks)
+		case 2: // get
+			v, ok := m.Get(k)
+			wv, wok := model[ks]
+			if ok != wok || (ok && v != wv) {
+				t.Fatalf("step %d: Get(%v) = %d,%v, model %d,%v", step, k, v, ok, wv, wok)
+			}
+		}
+		if m.Len() != len(model) {
+			t.Fatalf("step %d: Len = %d, model %d", step, m.Len(), len(model))
+		}
+	}
+}
+
+func TestQuickPutGet(t *testing.T) {
+	f := func(keys [][]int64) bool {
+		m := NewMap[int](0)
+		for i, k := range keys {
+			m.Put(k, i)
+		}
+		// The last write for each distinct key must win.
+		last := map[string]int{}
+		for i, k := range keys {
+			last[String(k)] = i
+		}
+		for _, k := range keys {
+			v, ok := m.Get(k)
+			if !ok || v != last[String(k)] {
+				return false
+			}
+		}
+		return m.Len() == len(last)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMapPut(b *testing.B) {
+	keys := make([][]int64, 1<<14)
+	rng := rand.New(rand.NewSource(7))
+	for i := range keys {
+		keys[i] = []int64{rng.Int63(), rng.Int63()}
+	}
+	b.ResetTimer()
+	m := NewMap[int](len(keys))
+	for i := 0; i < b.N; i++ {
+		m.Put(keys[i%len(keys)], i)
+	}
+}
+
+func BenchmarkMapGetHit(b *testing.B) {
+	m := NewMap[int](1 << 14)
+	keys := make([][]int64, 1<<14)
+	rng := rand.New(rand.NewSource(7))
+	for i := range keys {
+		keys[i] = []int64{rng.Int63(), rng.Int63()}
+		m.Put(keys[i], i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Get(keys[i%len(keys)])
+	}
+}
+
+func BenchmarkGoMapGetHit(b *testing.B) {
+	m := map[string]int{}
+	keys := make([][]int64, 1<<14)
+	rng := rand.New(rand.NewSource(7))
+	for i := range keys {
+		keys[i] = []int64{rng.Int63(), rng.Int63()}
+		m[String(keys[i])] = i
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m[String(keys[i%len(keys)])]
+	}
+}
