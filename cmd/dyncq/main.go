@@ -1,0 +1,275 @@
+// Command dyncq is the command-line front end of the repository: it
+// loads a conjunctive query, classifies it, routes it to the best
+// maintenance strategy (pkg/dyncq), applies update streams, and answers
+// count/enumerate requests; its bench subcommand runs the benchmark
+// harness (internal/bench) over generated workloads and writes a JSON
+// report.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+
+	"dyncq/internal/bench"
+	"dyncq/internal/cq"
+	"dyncq/internal/qtree"
+	"dyncq/internal/workload"
+	"dyncq/pkg/dyncq"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "bench":
+		err = cmdBench(os.Args[2:])
+	case "classify":
+		err = cmdClassify(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "dyncq: unknown subcommand %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dyncq:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: dyncq <subcommand> [flags]
+
+Subcommands:
+  run       load a database, apply an update stream, count/enumerate
+  bench     run the benchmark suite, write a JSON report
+  classify  print the classification and routing decision for a query
+
+Run 'dyncq <subcommand> -h' for flags.
+
+Query syntax:     Q(x,y) :- R(x,y), S(y).   (head = free variables)
+Stream syntax:    one update per line: +E(1,2) inserts, -E(1,2) deletes;
+                  blank lines and #-comments are skipped.
+`)
+}
+
+// loadQuery resolves the -q/-qf flag pair.
+func loadQuery(text, file string) (*cq.Query, error) {
+	if (text == "") == (file == "") {
+		return nil, fmt.Errorf("exactly one of -q (query text) and -qf (query file) is required")
+	}
+	if file != "" {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		text = strings.TrimSpace(string(data))
+	}
+	return cq.Parse(text)
+}
+
+func loadStream(path string) ([]dyncq.Update, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return dyncq.ParseStream(f)
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("dyncq run", flag.ExitOnError)
+	qText := fs.String("q", "", "query text, e.g. 'Q(x) :- E(x,y), T(y)'")
+	qFile := fs.String("qf", "", "file containing the query")
+	dataFile := fs.String("data", "", "initial database stream (loaded before the update stream)")
+	updFile := fs.String("updates", "", "update stream to apply")
+	strategyName := fs.String("strategy", "auto", "maintenance strategy: auto, core, ivm or recompute")
+	doCount := fs.Bool("count", false, "print |Q(D)| after the stream")
+	doAnswer := fs.Bool("answer", false, "print whether Q(D) is nonempty")
+	doEnum := fs.Bool("enumerate", false, "print the result tuples")
+	limit := fs.Int("limit", 0, "cap on enumerated tuples (0 = all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	q, err := loadQuery(*qText, *qFile)
+	if err != nil {
+		return err
+	}
+	strategy, err := dyncq.ParseStrategy(*strategyName)
+	if err != nil {
+		return err
+	}
+	sess, err := dyncq.NewWithOptions(q, dyncq.Options{Force: strategy})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("query:    %s\n", q)
+	fmt.Printf("strategy: %s\n", sess.Strategy())
+	schema := q.Schema()
+	for _, path := range []string{*dataFile, *updFile} {
+		if path == "" {
+			continue
+		}
+		updates, err := loadStream(path)
+		if err != nil {
+			return err
+		}
+		unknown := map[string]bool{}
+		for _, u := range updates {
+			if _, ok := schema[u.Rel]; !ok {
+				unknown[u.Rel] = true
+			}
+		}
+		if len(unknown) > 0 {
+			names := make([]string, 0, len(unknown))
+			for r := range unknown {
+				names = append(names, r)
+			}
+			sort.Strings(names)
+			fmt.Fprintf(os.Stderr, "warning: %s: relations not in the query (likely a typo): %s\n",
+				path, strings.Join(names, ", "))
+		}
+		if err := sess.ApplyAll(updates); err != nil {
+			return err
+		}
+		fmt.Printf("applied:  %d updates from %s\n", len(updates), path)
+	}
+	fmt.Printf("database: %d tuples, active domain %d\n", sess.Cardinality(), sess.ActiveDomainSize())
+	if *doAnswer {
+		fmt.Printf("answer:   %v\n", sess.Answer())
+	}
+	if *doCount {
+		fmt.Printf("count:    %d\n", sess.Count())
+	}
+	if *doEnum {
+		n := 0
+		sess.Enumerate(func(t []dyncq.Value) bool {
+			fmt.Println(formatTuple(t))
+			n++
+			return *limit == 0 || n < *limit
+		})
+		fmt.Printf("enumerated %d tuples\n", n)
+	}
+	return nil
+}
+
+func formatTuple(t []dyncq.Value) string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = fmt.Sprint(v)
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}
+
+func cmdClassify(args []string) error {
+	fs := flag.NewFlagSet("dyncq classify", flag.ExitOnError)
+	qText := fs.String("q", "", "query text")
+	qFile := fs.String("qf", "", "file containing the query")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	q, err := loadQuery(*qText, *qFile)
+	if err != nil {
+		return err
+	}
+	class := qtree.Classify(q)
+	fmt.Printf("query: %s\n%s", q, class)
+	sess, err := dyncq.New(q)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("routing: %s\n", sess.Strategy())
+	return nil
+}
+
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("dyncq bench", flag.ExitOnError)
+	out := fs.String("out", "BENCH_PR1.json", "output JSON path")
+	seed := fs.Int64("seed", 1, "workload RNG seed")
+	n := fs.Int("n", 300, "star and hard-sqet case size (node count / domain); random-qh uses a fixed small domain")
+	streamLen := fs.Int("updates", 2000, "measured update-stream length per case")
+	maxEnum := fs.Int("max-enumerate", 10000, "cap on tuples pulled during delay measurement")
+	strategiesFlag := fs.String("strategies", "core,ivm,recompute", "comma-separated strategies to measure")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var strategies []dyncq.Strategy
+	for _, name := range strings.Split(*strategiesFlag, ",") {
+		st, err := dyncq.ParseStrategy(strings.TrimSpace(name))
+		if err != nil {
+			return err
+		}
+		strategies = append(strategies, st)
+	}
+	cases, err := DefaultSuite(*seed, *n, *streamLen, *maxEnum)
+	if err != nil {
+		return err
+	}
+	rep, err := bench.Run(cases, strategies)
+	if err != nil {
+		return err
+	}
+	rep.GoVersion = runtime.Version()
+	if err := rep.WriteJSON(*out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d cases)\n", *out, len(rep.Cases))
+	for _, c := range rep.Cases {
+		fmt.Printf("\n%s  %s  (q-hierarchical: %v)\n", c.Name, c.Query, c.QHierarchical)
+		for _, s := range c.Strategies {
+			fmt.Printf("  %-10s preprocess %8.2fms  updates %8.0f/s (p99 %6dns)  count %d in %6dns  delay p99 %6dns over %d tuples\n",
+				s.Strategy, float64(s.PreprocessNS)/1e6, s.UpdatesPerSec, s.UpdateNS.P99,
+				s.Count, s.CountNS, s.DelayNS.P99, s.EnumeratedTuples)
+		}
+	}
+	return nil
+}
+
+// DefaultSuite builds the standard benchmark cases:
+//
+//   - star: the paper's scaling workload for the q-hierarchical query
+//     Q(y) :- E(x,y), T(y) (core vs the baselines);
+//   - hard-sqet: ϕS-E-T = Q(x,y) :- S(x), E(x,y), T(y), the canonical
+//     non-q-hierarchical query where Theorem 3.3's lower bound bites and
+//     routing must fall back to IVM;
+//   - random-qh: a seed-derived random q-hierarchical query under a mixed
+//     insert/delete stream.
+func DefaultSuite(seed int64, n, streamLen, maxEnum int) ([]bench.Config, error) {
+	rng := rand.New(rand.NewSource(seed))
+
+	starQ, err := cq.Parse("Q(y) :- E(x,y), T(y)")
+	if err != nil {
+		return nil, err
+	}
+	starInit := workload.StarSchemaStream(rng, n, 3)
+	starStream := workload.RandomStream(rng, starQ.Schema(), n, streamLen, 0.3)
+
+	hardQ, err := cq.Parse("Q(x,y) :- S(x), E(x,y), T(y)")
+	if err != nil {
+		return nil, err
+	}
+	hardInit := workload.RandomDatabase(rng, hardQ.Schema(), n, n).Updates()
+	hardStream := workload.RandomStream(rng, hardQ.Schema(), n, streamLen, 0.3)
+
+	// Small domain so the multi-way joins of the random query actually
+	// produce result tuples to enumerate.
+	randQ := workload.RandomQHierarchical(rng, workload.DefaultQHOptions())
+	randStream := workload.RandomStream(rng, randQ.Schema(), 8, streamLen, 0.4)
+
+	return []bench.Config{
+		{Name: "star", Query: starQ, Initial: starInit, Stream: starStream, MaxEnumerate: maxEnum},
+		{Name: "hard-sqet", Query: hardQ, Initial: hardInit, Stream: hardStream, MaxEnumerate: maxEnum},
+		{Name: "random-qh", Query: randQ, Initial: nil, Stream: randStream, MaxEnumerate: maxEnum},
+	}, nil
+}

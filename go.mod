@@ -1,0 +1,3 @@
+module dyncq
+
+go 1.24

@@ -1,0 +1,194 @@
+// Package bench is the benchmark harness: it drives update streams
+// (typically produced by internal/workload) through the maintenance
+// strategies behind pkg/dyncq and measures the three quantities the
+// paper's bounds are stated in — preprocessing time, per-update time,
+// and enumeration delay — plus counting time. Results marshal to JSON so
+// every PR's performance claims are recorded in a comparable artifact.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"dyncq/internal/cq"
+	"dyncq/internal/dyndb"
+	"dyncq/internal/qtree"
+	"dyncq/pkg/dyncq"
+)
+
+// Config describes one benchmark case: a query, a preprocessing stream
+// (the initial database D0), and a measured update stream.
+type Config struct {
+	// Name labels the case in the report.
+	Name string
+	// Query is the maintained query.
+	Query *cq.Query
+	// Initial is replayed as the preprocessing phase (timed as one block).
+	Initial []dyndb.Update
+	// Stream is the measured phase: each update is timed individually.
+	Stream []dyndb.Update
+	// MaxEnumerate caps the number of tuples pulled during the delay
+	// measurement (0 = enumerate everything).
+	MaxEnumerate int
+}
+
+// Percentiles summarises a latency sample in nanoseconds.
+type Percentiles struct {
+	P50 int64 `json:"p50_ns"`
+	P90 int64 `json:"p90_ns"`
+	P99 int64 `json:"p99_ns"`
+	Max int64 `json:"max_ns"`
+}
+
+// percentiles computes the summary of a sample; it sorts its argument.
+func percentiles(sample []int64) Percentiles {
+	if len(sample) == 0 {
+		return Percentiles{}
+	}
+	sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
+	at := func(q float64) int64 {
+		i := int(q * float64(len(sample)-1))
+		return sample[i]
+	}
+	return Percentiles{
+		P50: at(0.50),
+		P90: at(0.90),
+		P99: at(0.99),
+		Max: sample[len(sample)-1],
+	}
+}
+
+// StrategyResult is the measurement of one strategy on one case.
+type StrategyResult struct {
+	Strategy string `json:"strategy"`
+	// PreprocessNS is the wall time of replaying Initial.
+	PreprocessNS int64 `json:"preprocess_ns"`
+	// Updates is len(Stream); UpdateNS summarises per-update latencies
+	// and UpdatesPerSec the resulting throughput.
+	Updates       int         `json:"updates"`
+	UpdateTotalNS int64       `json:"update_total_ns"`
+	UpdatesPerSec float64     `json:"updates_per_sec"`
+	UpdateNS      Percentiles `json:"update_ns"`
+	// CountNS is the time of one Count() call after the stream; Count is
+	// its result.
+	CountNS int64  `json:"count_ns"`
+	Count   uint64 `json:"count"`
+	// EnumeratedTuples is how many tuples the delay measurement pulled;
+	// DelayNS summarises the per-tuple delays (first tuple included).
+	EnumeratedTuples int         `json:"enumerated_tuples"`
+	DelayNS          Percentiles `json:"delay_ns"`
+}
+
+// CaseResult is the full report for one benchmark case.
+type CaseResult struct {
+	Name          string           `json:"name"`
+	Query         string           `json:"query"`
+	QHierarchical bool             `json:"q_hierarchical"`
+	InitialSize   int              `json:"initial_size"`
+	StreamSize    int              `json:"stream_size"`
+	Strategies    []StrategyResult `json:"strategies"`
+}
+
+// Report is the top-level JSON artifact.
+type Report struct {
+	CreatedUnix int64        `json:"created_unix"`
+	GoVersion   string       `json:"go_version,omitempty"`
+	Cases       []CaseResult `json:"cases"`
+}
+
+// RunCase measures every given strategy on the case. Strategies that
+// cannot serve the query (StrategyCore on a non-q-hierarchical query) are
+// skipped silently, so callers can request all strategies uniformly.
+func RunCase(cfg Config, strategies []dyncq.Strategy) (CaseResult, error) {
+	res := CaseResult{
+		Name:          cfg.Name,
+		Query:         cfg.Query.String(),
+		QHierarchical: qtree.IsQHierarchical(cfg.Query),
+		InitialSize:   len(cfg.Initial),
+		StreamSize:    len(cfg.Stream),
+	}
+	for _, st := range strategies {
+		sr, err := runStrategy(cfg, st)
+		if err != nil {
+			if st == dyncq.StrategyCore && !res.QHierarchical {
+				continue // expected: the core engine refuses the query
+			}
+			return res, fmt.Errorf("case %s, strategy %s: %w", cfg.Name, st, err)
+		}
+		res.Strategies = append(res.Strategies, sr)
+	}
+	return res, nil
+}
+
+func runStrategy(cfg Config, st dyncq.Strategy) (StrategyResult, error) {
+	sess, err := dyncq.NewWithOptions(cfg.Query, dyncq.Options{Force: st})
+	if err != nil {
+		return StrategyResult{}, err
+	}
+	// Label with the resolved backend, not the request: StrategyAuto must
+	// report which engine actually ran.
+	sr := StrategyResult{Strategy: sess.Strategy().String(), Updates: len(cfg.Stream)}
+
+	start := time.Now()
+	if err := sess.ApplyAll(cfg.Initial); err != nil {
+		return sr, fmt.Errorf("preprocessing: %w", err)
+	}
+	sr.PreprocessNS = time.Since(start).Nanoseconds()
+
+	lat := make([]int64, 0, len(cfg.Stream))
+	for _, u := range cfg.Stream {
+		t0 := time.Now()
+		if _, err := sess.Apply(u); err != nil {
+			return sr, fmt.Errorf("update %s: %w", u, err)
+		}
+		lat = append(lat, time.Since(t0).Nanoseconds())
+	}
+	for _, ns := range lat {
+		sr.UpdateTotalNS += ns
+	}
+	if sr.UpdateTotalNS > 0 {
+		sr.UpdatesPerSec = float64(len(lat)) / (float64(sr.UpdateTotalNS) / 1e9)
+	}
+	sr.UpdateNS = percentiles(lat)
+
+	t0 := time.Now()
+	sr.Count = sess.Count()
+	sr.CountNS = time.Since(t0).Nanoseconds()
+
+	delays := make([]int64, 0, 1024)
+	last := time.Now()
+	sess.Enumerate(func(_ []dyncq.Value) bool {
+		now := time.Now()
+		delays = append(delays, now.Sub(last).Nanoseconds())
+		last = now
+		return cfg.MaxEnumerate == 0 || len(delays) < cfg.MaxEnumerate
+	})
+	sr.EnumeratedTuples = len(delays)
+	sr.DelayNS = percentiles(delays)
+	return sr, nil
+}
+
+// Run measures all cases and assembles the report.
+func Run(cases []Config, strategies []dyncq.Strategy) (Report, error) {
+	rep := Report{CreatedUnix: time.Now().Unix()}
+	for _, cfg := range cases {
+		cr, err := RunCase(cfg, strategies)
+		if err != nil {
+			return rep, err
+		}
+		rep.Cases = append(rep.Cases, cr)
+	}
+	return rep, nil
+}
+
+// WriteJSON writes the report to path, indented for readability.
+func (r Report) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

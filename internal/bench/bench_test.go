@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dyncq/internal/cq"
+	"dyncq/internal/workload"
+	"dyncq/pkg/dyncq"
+)
+
+func allStrategies() []dyncq.Strategy {
+	return []dyncq.Strategy{dyncq.StrategyCore, dyncq.StrategyIVM, dyncq.StrategyRecompute}
+}
+
+func TestRunCaseQHierarchical(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	q := cq.MustParse("Q(y) :- E(x,y), T(y)")
+	cfg := Config{
+		Name:         "star-small",
+		Query:        q,
+		Initial:      workload.StarSchemaStream(rng, 40, 2),
+		Stream:       workload.RandomStream(rng, q.Schema(), 40, 200, 0.3),
+		MaxEnumerate: 100,
+	}
+	res, err := RunCase(cfg, allStrategies())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.QHierarchical {
+		t.Fatalf("%s should classify q-hierarchical", q)
+	}
+	if len(res.Strategies) != 3 {
+		t.Fatalf("got %d strategy results, want 3 (core must run on a q-hierarchical query)", len(res.Strategies))
+	}
+	// All strategies must report the same final count — the harness runs
+	// the identical stream through each.
+	for _, s := range res.Strategies[1:] {
+		if s.Count != res.Strategies[0].Count {
+			t.Fatalf("strategy %s count %d, %s count %d",
+				s.Strategy, s.Count, res.Strategies[0].Strategy, res.Strategies[0].Count)
+		}
+	}
+	for _, s := range res.Strategies {
+		if s.Updates != len(cfg.Stream) {
+			t.Errorf("%s: %d updates recorded, want %d", s.Strategy, s.Updates, len(cfg.Stream))
+		}
+		if s.UpdateNS.Max < s.UpdateNS.P50 {
+			t.Errorf("%s: max %d < p50 %d", s.Strategy, s.UpdateNS.Max, s.UpdateNS.P50)
+		}
+	}
+}
+
+func TestRunCaseSkipsCoreOnHardQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	q := cq.MustParse("Q(x,y) :- S(x), E(x,y), T(y)")
+	cfg := Config{
+		Name:   "hard-small",
+		Query:  q,
+		Stream: workload.RandomStream(rng, q.Schema(), 20, 100, 0.3),
+	}
+	res, err := RunCase(cfg, allStrategies())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QHierarchical {
+		t.Fatalf("%s should not classify q-hierarchical", q)
+	}
+	for _, s := range res.Strategies {
+		if s.Strategy == "core" {
+			t.Fatal("core strategy ran on a non-q-hierarchical query")
+		}
+	}
+	if len(res.Strategies) != 2 {
+		t.Fatalf("got %d strategy results, want 2 (ivm + recompute)", len(res.Strategies))
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	q := cq.MustParse("Q(x) :- R(x), S(x)")
+	rep, err := Run([]Config{{
+		Name:   "tiny",
+		Query:  q,
+		Stream: workload.RandomStream(rng, q.Schema(), 10, 50, 0.2),
+	}}, allStrategies())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal written report: %v", err)
+	}
+	if len(back.Cases) != 1 || back.Cases[0].Name != "tiny" {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	if len(back.Cases[0].Strategies) == 0 {
+		t.Fatal("no strategy results survived the round trip")
+	}
+}
+
+// TestAutoStrategyLabeledWithResolvedBackend: requesting StrategyAuto
+// must report the backend that actually ran, not "auto".
+func TestAutoStrategyLabeledWithResolvedBackend(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	q := cq.MustParse("Q(y) :- E(x,y), T(y)")
+	res, err := RunCase(Config{
+		Name:   "auto-label",
+		Query:  q,
+		Stream: workload.RandomStream(rng, q.Schema(), 10, 50, 0.2),
+	}, []dyncq.Strategy{dyncq.StrategyAuto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Strategies) != 1 {
+		t.Fatalf("got %d strategy results, want 1", len(res.Strategies))
+	}
+	if got := res.Strategies[0].Strategy; got != "core" {
+		t.Fatalf("auto on a q-hierarchical query labeled %q, want \"core\"", got)
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	if p := percentiles(nil); p != (Percentiles{}) {
+		t.Fatalf("empty sample: %+v", p)
+	}
+	sample := make([]int64, 100)
+	for i := range sample {
+		sample[i] = int64(100 - i) // reversed, so sorting matters
+	}
+	p := percentiles(sample)
+	if p.P50 != 50 || p.P90 != 90 || p.P99 != 99 || p.Max != 100 {
+		t.Fatalf("percentiles of 1..100: %+v", p)
+	}
+}

@@ -240,7 +240,9 @@ func RandomOVInstance(rng *rand.Rand, n, d int, density float64) OVInstance {
 	return inst
 }
 
-// Log2Ceil returns ⌈log₂ n⌉ (the OV-conjecture's dimension, d = ⌈log₂ n⌉).
+// Log2Ceil returns max(1, ⌈log₂ n⌉) — the OV-conjecture's dimension
+// d = ⌈log₂ n⌉, clamped to 1 so that degenerate instances (n = 1) still
+// have nonzero-dimension vectors.
 func Log2Ceil(n int) int {
 	d := 0
 	for 1<<uint(d) < n {

@@ -1,0 +1,114 @@
+package omv
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestVectorSetGetString(t *testing.T) {
+	v := NewVector(130) // spans three words
+	for _, i := range []int{0, 63, 64, 127, 128, 129} {
+		if v.Get(i) {
+			t.Fatalf("fresh vector has bit %d set", i)
+		}
+		v.Set(i, true)
+		if !v.Get(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+		v.Set(i, false)
+		if v.Get(i) {
+			t.Fatalf("bit %d not cleared", i)
+		}
+	}
+	u := NewVector(4)
+	u.Set(0, true)
+	u.Set(2, true)
+	if got := u.String(); got != "1010" {
+		t.Fatalf("String = %q, want 1010", got)
+	}
+}
+
+func TestDot(t *testing.T) {
+	u, v := NewVector(70), NewVector(70)
+	if u.Dot(v) {
+		t.Fatal("zero vectors have nonzero dot")
+	}
+	u.Set(69, true)
+	if u.Dot(v) {
+		t.Fatal("dot with zero vector")
+	}
+	v.Set(69, true)
+	if !u.Dot(v) {
+		t.Fatal("overlapping bit 69 not detected")
+	}
+}
+
+func TestMulVecAgainstDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(40)
+		m := RandomMatrix(rng, n, 0.3)
+		v := RandomVector(rng, n, 0.3)
+		got := m.MulVec(v)
+		for i := 0; i < n; i++ {
+			want := false
+			for j := 0; j < n; j++ {
+				if m.Get(i, j) && v.Get(j) {
+					want = true
+				}
+			}
+			if got.Get(i) != want {
+				t.Fatalf("n=%d: (Mv)_%d = %v, want %v", n, i, got.Get(i), want)
+			}
+		}
+	}
+}
+
+func TestVecMatVecAgainstDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(30)
+		m := RandomMatrix(rng, n, 0.2)
+		u := RandomVector(rng, n, 0.3)
+		v := RandomVector(rng, n, 0.3)
+		want := false
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if u.Get(i) && m.Get(i, j) && v.Get(j) {
+					want = true
+				}
+			}
+		}
+		if got := VecMatVec(u, m, v); got != want {
+			t.Fatalf("n=%d: uMv = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestNaiveOV(t *testing.T) {
+	mk := func(bits ...int) Vector {
+		v := NewVector(4)
+		for _, b := range bits {
+			v.Set(b, true)
+		}
+		return v
+	}
+	// Every pair overlaps: no orthogonal pair.
+	inst := OVInstance{U: []Vector{mk(0, 1)}, V: []Vector{mk(1, 2)}}
+	if NaiveOV(inst) {
+		t.Fatal("overlapping pair reported orthogonal")
+	}
+	inst.V = append(inst.V, mk(2, 3))
+	if !NaiveOV(inst) {
+		t.Fatal("orthogonal pair missed")
+	}
+}
+
+func TestLog2Ceil(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 1024: 10, 1025: 11}
+	for n, want := range cases {
+		if got := Log2Ceil(n); got != want {
+			t.Errorf("Log2Ceil(%d) = %d, want %d", n, got, want)
+		}
+	}
+}

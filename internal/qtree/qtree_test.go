@@ -325,8 +325,8 @@ func TestFreeConnex(t *testing.T) {
 		// Path with endpoints free: the classic non-free-connex example.
 		{"Q(x,z) :- E(x,y), F(y,z)", false},
 		{"Q(x,y) :- E(x,y), F(y,z)", true},
-		{"Q(x) :- E(x,y), T(y)", true},   // ϕE-T
-		{"Q(x,y) :- S(x), E(x,y), T(y)", true}, // ϕS-E-T
+		{"Q(x) :- E(x,y), T(y)", true},             // ϕE-T
+		{"Q(x,y) :- S(x), E(x,y), T(y)", true},     // ϕS-E-T
 		{"Q() :- E(x,y), E2(y,z), E3(z,x)", false}, // cyclic
 	}
 	for _, c := range cases {

@@ -1,0 +1,232 @@
+// Package dyncq is the front door of the repository: a session layer that
+// accepts any conjunctive query, classifies it via internal/qtree, and
+// routes it to the best maintenance strategy the theory allows:
+//
+//   - q-hierarchical queries go to internal/core.Engine, the paper's
+//     Section 6 structure with O(1) update time, O(1) counting and
+//     constant-delay enumeration (Theorem 3.2);
+//   - everything else falls back to internal/ivm.Maintainer, the
+//     counting-based incremental view maintenance baseline whose update
+//     cost is a residual join — by Theorems 3.3–3.5 no strategy can do
+//     fundamentally better on these queries (conditional on OMv/OV);
+//   - a recompute-from-scratch strategy over internal/eval is available
+//     for benchmarking and as a correctness oracle.
+//
+// All strategies expose one uniform API: Insert/Delete/Apply/ApplyAll,
+// Count, Answer, Enumerate, Tuples. Strategy() and Classification() let
+// callers introspect the routing decision.
+package dyncq
+
+import (
+	"fmt"
+
+	"dyncq/internal/core"
+	"dyncq/internal/cq"
+	"dyncq/internal/dyndb"
+	"dyncq/internal/ivm"
+	"dyncq/internal/qtree"
+)
+
+// Value is a database constant.
+type Value = dyndb.Value
+
+// Update is a single-tuple update command.
+type Update = dyndb.Update
+
+// Strategy identifies the maintenance backend serving a session.
+type Strategy int
+
+const (
+	// StrategyAuto (the zero value) lets New pick the best backend from
+	// the query classification. Session.Strategy never returns it.
+	StrategyAuto Strategy = iota
+	// StrategyCore is the paper's dynamic structure (internal/core):
+	// O(1) updates, O(1) count, constant-delay enumeration. Requires a
+	// q-hierarchical query.
+	StrategyCore
+	// StrategyIVM is counting-based incremental view maintenance
+	// (internal/ivm): any CQ, updates cost a residual join.
+	StrategyIVM
+	// StrategyRecompute stores the database only and re-evaluates the
+	// query from scratch (internal/eval) on every read.
+	StrategyRecompute
+)
+
+// String returns the strategy name used by the CLI and benchmark output.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyAuto:
+		return "auto"
+	case StrategyCore:
+		return "core"
+	case StrategyIVM:
+		return "ivm"
+	case StrategyRecompute:
+		return "recompute"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// ParseStrategy converts a CLI name ("auto", "core", "ivm", "recompute")
+// to a Strategy.
+func ParseStrategy(name string) (Strategy, error) {
+	switch name {
+	case "auto":
+		return StrategyAuto, nil
+	case "core":
+		return StrategyCore, nil
+	case "ivm":
+		return StrategyIVM, nil
+	case "recompute":
+		return StrategyRecompute, nil
+	default:
+		return StrategyAuto, fmt.Errorf("unknown strategy %q (want auto, core, ivm or recompute)", name)
+	}
+}
+
+// backend is the uniform interface every strategy implements.
+type backend interface {
+	Apply(dyndb.Update) (bool, error)
+	Count() uint64
+	Answer() bool
+	Enumerate(yield func(tuple []Value) bool)
+	Cardinality() int
+	ActiveDomainSize() int
+}
+
+// Options configures session construction.
+type Options struct {
+	// Force pins the backend instead of routing by classification.
+	// StrategyAuto (the zero value) means: classify and choose. Forcing
+	// StrategyCore on a non-q-hierarchical query fails with
+	// core.ErrNotQHierarchical.
+	Force Strategy
+}
+
+// Session maintains the result of one conjunctive query under updates
+// behind whichever strategy the classification (or Options.Force)
+// selected. A Session is not safe for concurrent use.
+type Session struct {
+	query    *cq.Query
+	class    qtree.Classification
+	strategy Strategy
+	back     backend
+}
+
+// New builds a session for q over the empty database, routing by
+// classification: core for q-hierarchical queries, IVM otherwise.
+func New(q *cq.Query) (*Session, error) {
+	return NewWithOptions(q, Options{})
+}
+
+// NewWithOptions builds a session with explicit options.
+func NewWithOptions(q *cq.Query, opt Options) (*Session, error) {
+	if err := q.Validate(); err != nil {
+		return nil, fmt.Errorf("dyncq: %w", err)
+	}
+	s := &Session{query: q, class: qtree.Classify(q)}
+	strategy := opt.Force
+	if strategy == StrategyAuto {
+		if s.class.QHierarchical {
+			strategy = StrategyCore
+		} else {
+			strategy = StrategyIVM
+		}
+	}
+	var err error
+	switch strategy {
+	case StrategyCore:
+		s.back, err = core.New(q)
+	case StrategyIVM:
+		s.back, err = ivm.New(q)
+	case StrategyRecompute:
+		s.back, err = newRecompute(q)
+	default:
+		err = fmt.Errorf("invalid strategy %v", strategy)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("dyncq: %w", err)
+	}
+	s.strategy = strategy
+	return s, nil
+}
+
+// Open parses the query text (see cq.Parse for the syntax) and builds an
+// auto-routed session — the one-call entry point used by the CLI.
+func Open(text string) (*Session, error) {
+	q, err := cq.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	return New(q)
+}
+
+// Query returns the maintained query.
+func (s *Session) Query() *cq.Query { return s.query }
+
+// Strategy returns the backend actually serving this session (never
+// StrategyAuto).
+func (s *Session) Strategy() Strategy { return s.strategy }
+
+// Classification returns the full taxonomy verdict computed at
+// construction time.
+func (s *Session) Classification() qtree.Classification { return s.class }
+
+// Insert applies "insert R(a1,…,ar)", reporting whether the database
+// changed (set semantics).
+func (s *Session) Insert(rel string, tuple ...Value) (bool, error) {
+	return s.back.Apply(dyndb.Insert(rel, tuple...))
+}
+
+// Delete applies "delete R(a1,…,ar)", reporting whether the database
+// changed.
+func (s *Session) Delete(rel string, tuple ...Value) (bool, error) {
+	return s.back.Apply(dyndb.Delete(rel, tuple...))
+}
+
+// Apply executes one update command.
+func (s *Session) Apply(u Update) (bool, error) { return s.back.Apply(u) }
+
+// ApplyAll executes a sequence of updates, stopping at the first error.
+func (s *Session) ApplyAll(updates []Update) error {
+	for _, u := range updates {
+		if _, err := s.back.Apply(u); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load replays an initial database as insertions (the preprocessing
+// phase).
+func (s *Session) Load(db *dyndb.Database) error { return s.ApplyAll(db.Updates()) }
+
+// Count returns |ϕ(D)|, the number of distinct result tuples.
+func (s *Session) Count() uint64 { return s.back.Count() }
+
+// Answer reports whether ϕ(D) is nonempty.
+func (s *Session) Answer() bool { return s.back.Answer() }
+
+// Enumerate calls yield for every result tuple until yield returns
+// false. The slice passed to yield may be reused; copy it to retain it.
+// For a Boolean query that holds, yield is called once with an empty
+// tuple.
+func (s *Session) Enumerate(yield func(tuple []Value) bool) { s.back.Enumerate(yield) }
+
+// Tuples returns the full result as freshly allocated tuples, in the
+// backend's enumeration order.
+func (s *Session) Tuples() [][]Value {
+	var out [][]Value
+	s.back.Enumerate(func(t []Value) bool {
+		out = append(out, append([]Value(nil), t...))
+		return true
+	})
+	return out
+}
+
+// Cardinality returns |D| of the maintained database.
+func (s *Session) Cardinality() int { return s.back.Cardinality() }
+
+// ActiveDomainSize returns n = |adom(D)|.
+func (s *Session) ActiveDomainSize() int { return s.back.ActiveDomainSize() }

@@ -1,0 +1,231 @@
+package dyncq
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"dyncq/internal/cq"
+	"dyncq/internal/dyndb"
+	"dyncq/internal/eval"
+	"dyncq/internal/workload"
+)
+
+// TestRoutingQHierarchical: q-hierarchical queries must be served by the
+// core engine (the constant-delay path).
+func TestRoutingQHierarchical(t *testing.T) {
+	for _, text := range []string{
+		"Q(y) :- E(x,y), T(y)",
+		"Q(x) :- R(x)",
+		"Q(x,y) :- E(x,y)",
+		"Q() :- E(x,y), T(y)",
+		"Q(x) :- R(x), S(x), E(x,y)",
+	} {
+		s, err := Open(text)
+		if err != nil {
+			t.Fatalf("Open(%q): %v", text, err)
+		}
+		if got := s.Strategy(); got != StrategyCore {
+			t.Errorf("%s: strategy %v, want core", text, got)
+		}
+		if !s.Classification().QHierarchical {
+			t.Errorf("%s: classification says not q-hierarchical", text)
+		}
+	}
+}
+
+// TestRoutingFallback: non-q-hierarchical queries must fall back to IVM.
+func TestRoutingFallback(t *testing.T) {
+	for _, text := range []string{
+		"Q(x) :- E(x,y), T(y)",                // ϕE-T: violates condition (ii)
+		"Q(x,y) :- S(x), E(x,y), T(y)",        // ϕS-E-T
+		"Q() :- S(x), E(x,y), T(y)",           // ϕ1: non-hierarchical Boolean
+		"Q(x,z) :- E(x,y), F(y,z)",            // path join, no common variable
+		"Q() :- E(x,y), E2(y,z), E3(z,x)",     // triangle
+		"Q(x,y,z) :- E(x,y), F(y,z), G(z,x)",  // cyclic with free vars
+		"Q(a) :- R(a,b), S(b,c), T(c)",        // chain
+		"Q(u) :- A(u,v), B(v,w), C(u,w,v)",    // mixed
+		"Q(x) :- E(x,y), F(x,z), G(y,z)",      // y,z incomparable overlap
+		"Q(v) :- R(v,w), S(w), T(w,u), U(u)",  // deep chain
+		"Q(x,y) :- R(x,u), S(u,y), T(y)",      // free vars split by quantified
+		"Q() :- R(a,b), S(b,c), T(c,d), U(d)", // long Boolean chain
+	} {
+		s, err := Open(text)
+		if err != nil {
+			t.Fatalf("Open(%q): %v", text, err)
+		}
+		if got := s.Strategy(); got != StrategyIVM {
+			t.Errorf("%s: strategy %v, want ivm", text, got)
+		}
+		if s.Classification().QHierarchical {
+			t.Errorf("%s: classification says q-hierarchical", text)
+		}
+	}
+}
+
+func TestForceStrategy(t *testing.T) {
+	q := cq.MustParse("Q(y) :- E(x,y), T(y)")
+	for _, st := range []Strategy{StrategyCore, StrategyIVM, StrategyRecompute} {
+		s, err := NewWithOptions(q, Options{Force: st})
+		if err != nil {
+			t.Fatalf("force %v: %v", st, err)
+		}
+		if s.Strategy() != st {
+			t.Errorf("forced %v, got %v", st, s.Strategy())
+		}
+	}
+	// Forcing core on a non-q-hierarchical query must fail.
+	hard := cq.MustParse("Q(x) :- E(x,y), T(y)")
+	if _, err := NewWithOptions(hard, Options{Force: StrategyCore}); err == nil {
+		t.Errorf("forcing core on %s: want error, got nil", hard)
+	}
+}
+
+// TestStrategiesAgree runs the same random streams through every strategy
+// and cross-checks count, answer and the enumerated tuple sets against
+// the static evaluator.
+func TestStrategiesAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	queries := []*cq.Query{
+		cq.MustParse("Q(y) :- E(x,y), T(y)"),
+		cq.MustParse("Q(x) :- E(x,y), T(y)"),
+		cq.MustParse("Q(x,y) :- S(x), E(x,y), T(y)"),
+		cq.MustParse("Q() :- E(x,y), T(y)"),
+	}
+	for i := 0; i < 6; i++ {
+		queries = append(queries, workload.RandomQHierarchical(rng, workload.DefaultQHOptions()))
+	}
+	for _, q := range queries {
+		stream := workload.RandomStream(rng, q.Schema(), 8, 120, 0.35)
+		db := dyndb.New()
+		var sessions []*Session
+		for _, st := range []Strategy{StrategyAuto, StrategyIVM, StrategyRecompute} {
+			s, err := NewWithOptions(q, Options{Force: st})
+			if err != nil {
+				t.Fatalf("%s force %v: %v", q, st, err)
+			}
+			sessions = append(sessions, s)
+		}
+		for ui, u := range stream {
+			if _, err := db.Apply(u); err != nil {
+				t.Fatalf("%s: db apply: %v", q, err)
+			}
+			for _, s := range sessions {
+				if _, err := s.Apply(u); err != nil {
+					t.Fatalf("%s [%v]: apply %s: %v", q, s.Strategy(), u, err)
+				}
+			}
+			if ui%40 != 39 && ui != len(stream)-1 {
+				continue
+			}
+			want := eval.Evaluate(q, db)
+			for _, s := range sessions {
+				if got := s.Count(); got != uint64(want.Len()) {
+					t.Fatalf("%s [%v] after %d updates: count %d, want %d", q, s.Strategy(), ui+1, got, want.Len())
+				}
+				if got := s.Answer(); got != (want.Len() > 0) {
+					t.Fatalf("%s [%v]: answer %v, want %v", q, s.Strategy(), got, want.Len() > 0)
+				}
+				if !sameTuples(s.Tuples(), want.Tuples()) {
+					t.Fatalf("%s [%v]: enumerated tuples disagree with eval", q, s.Strategy())
+				}
+			}
+		}
+	}
+}
+
+func sameTuples(a, b [][]int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	if len(a) == 0 {
+		return true // nil vs empty slice both mean "no tuples"
+	}
+	sortTuples(a)
+	sortTuples(b)
+	return reflect.DeepEqual(a, b)
+}
+
+func sortTuples(ts [][]int64) {
+	sort.Slice(ts, func(i, j int) bool {
+		x, y := ts[i], ts[j]
+		for k := range x {
+			if x[k] != y[k] {
+				return x[k] < y[k]
+			}
+		}
+		return false
+	})
+}
+
+func TestSessionBasics(t *testing.T) {
+	s, err := Open("Q(y) :- E(x,y), T(y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustApply := func(changed bool, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !changed {
+			t.Fatal("expected a change")
+		}
+	}
+	mustApply(s.Insert("E", 1, 2))
+	mustApply(s.Insert("T", 2))
+	if got := s.Count(); got != 1 {
+		t.Fatalf("count = %d, want 1", got)
+	}
+	if !s.Answer() {
+		t.Fatal("answer = false, want true")
+	}
+	if got := s.Tuples(); len(got) != 1 || got[0][0] != 2 {
+		t.Fatalf("tuples = %v, want [[2]]", got)
+	}
+	mustApply(s.Delete("T", 2))
+	if s.Answer() {
+		t.Fatal("answer = true after delete, want false")
+	}
+	if got := s.Cardinality(); got != 1 {
+		t.Fatalf("cardinality = %d, want 1", got)
+	}
+	// Arity mismatch must surface as an error on every backend.
+	if _, err := s.Insert("E", 1); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+}
+
+func TestLoad(t *testing.T) {
+	db := dyndb.New()
+	for _, u := range []Update{
+		dyndb.Insert("E", 1, 2), dyndb.Insert("E", 3, 2), dyndb.Insert("T", 2),
+	} {
+		if _, err := db.Apply(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := Open("Q(x) :- E(x,y), T(y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Load(db); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Count(); got != 2 {
+		t.Fatalf("count = %d, want 2", got)
+	}
+}
+
+func TestParseStrategy(t *testing.T) {
+	for _, st := range []Strategy{StrategyAuto, StrategyCore, StrategyIVM, StrategyRecompute} {
+		got, err := ParseStrategy(st.String())
+		if err != nil || got != st {
+			t.Errorf("ParseStrategy(%q) = %v, %v", st.String(), got, err)
+		}
+	}
+	if _, err := ParseStrategy("nope"); err == nil {
+		t.Error("ParseStrategy(nope): want error")
+	}
+}

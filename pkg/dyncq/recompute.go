@@ -1,0 +1,43 @@
+package dyncq
+
+import (
+	"fmt"
+
+	"dyncq/internal/cq"
+	"dyncq/internal/dyndb"
+	"dyncq/internal/eval"
+)
+
+// recompute is the recompute-from-scratch strategy: updates only touch
+// the stored database; Count, Answer and Enumerate re-evaluate the query
+// with internal/eval. Updates are as cheap as the database operation, but
+// every read pays full join cost — the static baseline the dynamic
+// strategies are measured against.
+type recompute struct {
+	q      *cq.Query
+	db     *dyndb.Database
+	schema map[string]int
+}
+
+func newRecompute(q *cq.Query) (*recompute, error) {
+	return &recompute{q: q, db: dyndb.New(), schema: q.Schema()}, nil
+}
+
+func (r *recompute) Apply(u dyndb.Update) (bool, error) {
+	if want, ok := r.schema[u.Rel]; ok && want != len(u.Tuple) {
+		return false, fmt.Errorf("recompute: %s has arity %d in query, got tuple of length %d", u.Rel, want, len(u.Tuple))
+	}
+	return r.db.Apply(u)
+}
+
+func (r *recompute) Count() uint64 { return uint64(eval.Count(r.q, r.db)) }
+
+func (r *recompute) Answer() bool { return eval.Answer(r.q, r.db) }
+
+func (r *recompute) Enumerate(yield func(tuple []Value) bool) {
+	eval.Evaluate(r.q, r.db).Each(yield)
+}
+
+func (r *recompute) Cardinality() int { return r.db.Cardinality() }
+
+func (r *recompute) ActiveDomainSize() int { return r.db.ActiveDomainSize() }

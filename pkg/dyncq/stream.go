@@ -1,0 +1,127 @@
+package dyncq
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"dyncq/internal/dyndb"
+)
+
+// This file implements the textual update-stream format the CLI reads.
+// One command per line:
+//
+//	+E(1,2)     insert E(1,2)
+//	-E(1,2)     delete E(1,2)
+//	E(1,2)      insert (the sign is optional for database files)
+//	# comment   (blank lines and #-comments are skipped)
+//
+// Tuple entries are int64 constants.
+
+// ParseUpdate parses one update command line.
+func ParseUpdate(line string) (Update, error) {
+	s := strings.TrimSpace(line)
+	op := dyndb.OpInsert
+	switch {
+	case strings.HasPrefix(s, "+"):
+		s = strings.TrimSpace(s[1:])
+	case strings.HasPrefix(s, "-"):
+		op = dyndb.OpDelete
+		s = strings.TrimSpace(s[1:])
+	}
+	open := strings.IndexByte(s, '(')
+	if open <= 0 || !strings.HasSuffix(s, ")") {
+		return Update{}, fmt.Errorf("malformed update %q (want [+|-]R(v1,…,vr))", line)
+	}
+	rel := strings.TrimSpace(s[:open])
+	if !validRelName(rel) {
+		return Update{}, fmt.Errorf("malformed update %q: invalid relation name %q", line, rel)
+	}
+	body := s[open+1 : len(s)-1]
+	var tuple []Value
+	for _, f := range strings.Split(body, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			return Update{}, fmt.Errorf("malformed update %q: empty tuple entry", line)
+		}
+		v, err := strconv.ParseInt(f, 10, 64)
+		if err != nil {
+			return Update{}, fmt.Errorf("malformed update %q: %w", line, err)
+		}
+		tuple = append(tuple, v)
+	}
+	if len(tuple) == 0 {
+		return Update{}, fmt.Errorf("malformed update %q: empty tuple", line)
+	}
+	return Update{Op: op, Rel: rel, Tuple: tuple}, nil
+}
+
+// validRelName mirrors the identifier rules of the query syntax (cq.Parse):
+// a letter or underscore followed by letters, digits, underscores or primes.
+func validRelName(rel string) bool {
+	if rel == "" {
+		return false
+	}
+	for i, r := range rel {
+		letter := r == '_' || unicode.IsLetter(r)
+		if i == 0 {
+			if !letter {
+				return false
+			}
+			continue
+		}
+		if !letter && r != '\'' && !unicode.IsDigit(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// ParseStream reads an update stream, one command per line, skipping
+// blank lines and #-comments.
+func ParseStream(r io.Reader) ([]Update, error) {
+	var out []Update
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		u, err := ParseUpdate(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		out = append(out, u)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// FormatUpdate renders an update in the stream syntax, the inverse of
+// ParseUpdate.
+func FormatUpdate(u Update) string {
+	var b strings.Builder
+	if u.Op == dyndb.OpDelete {
+		b.WriteByte('-')
+	} else {
+		b.WriteByte('+')
+	}
+	b.WriteString(u.Rel)
+	b.WriteByte('(')
+	for i, v := range u.Tuple {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatInt(v, 10))
+	}
+	b.WriteByte(')')
+	return b.String()
+}

@@ -1,0 +1,65 @@
+package dyncq
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dyncq/internal/dyndb"
+	"dyncq/internal/workload"
+)
+
+func TestParseUpdate(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Update
+	}{
+		{"+E(1,2)", dyndb.Insert("E", 1, 2)},
+		{"E(1,2)", dyndb.Insert("E", 1, 2)},
+		{"-E(1,2)", dyndb.Delete("E", 1, 2)},
+		{"  - T( 7 ) ", dyndb.Delete("T", 7)},
+		{"+R_1(-3,0,42)", dyndb.Insert("R_1", -3, 0, 42)},
+	}
+	for _, c := range cases {
+		got, err := ParseUpdate(c.in)
+		if err != nil {
+			t.Errorf("ParseUpdate(%q): %v", c.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("ParseUpdate(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "E", "E()", "+(1)", "E(1", "E(a)", "E(1,,2)", "+-E(1,2)", "1E(1)", "E x(1)"} {
+		if _, err := ParseUpdate(bad); err == nil {
+			t.Errorf("ParseUpdate(%q): want error", bad)
+		}
+	}
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	schema := map[string]int{"E": 2, "T": 1, "S": 3}
+	stream := workload.RandomStream(rng, schema, 20, 300, 0.4)
+	var b strings.Builder
+	b.WriteString("# header comment\n\n")
+	for _, u := range stream {
+		b.WriteString(FormatUpdate(u))
+		b.WriteByte('\n')
+	}
+	got, err := ParseStream(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, stream) {
+		t.Fatalf("round trip mismatch: got %d updates, want %d", len(got), len(stream))
+	}
+}
+
+func TestParseStreamReportsLine(t *testing.T) {
+	_, err := ParseStream(strings.NewReader("+E(1,2)\nbogus line\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("want line-2 error, got %v", err)
+	}
+}
