@@ -13,10 +13,12 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 
 	"dyncq/internal/bench"
 	"dyncq/internal/cq"
+	"dyncq/internal/dyndb"
 	"dyncq/internal/qtree"
 	"dyncq/internal/workload"
 	"dyncq/pkg/dyncq"
@@ -95,6 +97,7 @@ func cmdRun(args []string) error {
 	dataFile := fs.String("data", "", "initial database stream (loaded before the update stream)")
 	updFile := fs.String("updates", "", "update stream to apply")
 	strategyName := fs.String("strategy", "auto", "maintenance strategy: auto, core, ivm or recompute")
+	batch := fs.Int("batch", 0, "apply streams in batches of this many updates (0 = one at a time)")
 	doCount := fs.Bool("count", false, "print |Q(D)| after the stream")
 	doAnswer := fs.Bool("answer", false, "print whether Q(D) is nonempty")
 	doEnum := fs.Bool("enumerate", false, "print the result tuples")
@@ -140,10 +143,19 @@ func cmdRun(args []string) error {
 			fmt.Fprintf(os.Stderr, "warning: %s: relations not in the query (likely a typo): %s\n",
 				path, strings.Join(names, ", "))
 		}
-		if err := sess.ApplyAll(updates); err != nil {
-			return err
+		if *batch > 0 {
+			applied, err := sess.ApplyBatched(updates, *batch)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("applied:  %d updates from %s in batches of %d (%d net changes)\n",
+				len(updates), path, *batch, applied)
+		} else {
+			if err := sess.ApplyAll(updates); err != nil {
+				return err
+			}
+			fmt.Printf("applied:  %d updates from %s\n", len(updates), path)
 		}
-		fmt.Printf("applied:  %d updates from %s\n", len(updates), path)
 	}
 	fmt.Printf("database: %d tuples, active domain %d\n", sess.Cardinality(), sess.ActiveDomainSize())
 	if *doAnswer {
@@ -194,13 +206,20 @@ func cmdClassify(args []string) error {
 }
 
 func cmdBench(args []string) error {
+	if len(args) > 0 && (args[0] == "-compare" || args[0] == "--compare") {
+		return cmdBenchCompare(args[1:])
+	}
 	fs := flag.NewFlagSet("dyncq bench", flag.ExitOnError)
-	out := fs.String("out", "BENCH_PR1.json", "output JSON path")
+	out := fs.String("out", "BENCH_PR2.json", "output JSON path")
 	seed := fs.Int64("seed", 1, "workload RNG seed")
 	n := fs.Int("n", 300, "star and hard-sqet case size (node count / domain); random-qh uses a fixed small domain")
 	streamLen := fs.Int("updates", 2000, "measured update-stream length per case")
 	maxEnum := fs.Int("max-enumerate", 10000, "cap on tuples pulled during delay measurement")
 	strategiesFlag := fs.String("strategies", "core,ivm,recompute", "comma-separated strategies to measure")
+	batchesFlag := fs.String("batches", "64,512", "comma-separated batch sizes for the batch phase (empty = skip)")
+	sweepFlag := fs.String("sweep", "100,200,400,800", "comma-separated database sizes for the star scaling sweep (empty = skip)")
+	sweepUpdates := fs.Int("sweep-updates", 500, "measured update-stream length per sweep point")
+	repeat := fs.Int("repeat", 3, "repetitions per measurement; the report keeps the best latencies (steadies the regression gate)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -212,28 +231,169 @@ func cmdBench(args []string) error {
 		}
 		strategies = append(strategies, st)
 	}
-	cases, err := DefaultSuite(*seed, *n, *streamLen, *maxEnum)
+	batchSizes, err := parseIntList(*batchesFlag)
+	if err != nil {
+		return fmt.Errorf("-batches: %w", err)
+	}
+	sweepSizes, err := parseIntList(*sweepFlag)
+	if err != nil {
+		return fmt.Errorf("-sweep: %w", err)
+	}
+	cases, err := DefaultSuite(*seed, *n, *streamLen, *maxEnum, batchSizes)
 	if err != nil {
 		return err
+	}
+	for i := range cases {
+		cases[i].Repeat = *repeat
 	}
 	rep, err := bench.Run(cases, strategies)
 	if err != nil {
 		return err
 	}
+	if len(sweepSizes) > 0 {
+		sweep, err := StarSweep(*seed, sweepSizes, *sweepUpdates, *maxEnum)
+		if err != nil {
+			return err
+		}
+		sweep.Repeat = *repeat
+		sw, err := bench.RunSweep(sweep, strategies)
+		if err != nil {
+			return err
+		}
+		rep.Sweeps = append(rep.Sweeps, sw)
+	}
 	rep.GoVersion = runtime.Version()
 	if err := rep.WriteJSON(*out); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s (%d cases)\n", *out, len(rep.Cases))
+	fmt.Printf("wrote %s (%d cases, %d sweeps)\n", *out, len(rep.Cases), len(rep.Sweeps))
 	for _, c := range rep.Cases {
 		fmt.Printf("\n%s  %s  (q-hierarchical: %v)\n", c.Name, c.Query, c.QHierarchical)
 		for _, s := range c.Strategies {
-			fmt.Printf("  %-10s preprocess %8.2fms  updates %8.0f/s (p99 %6dns)  count %d in %6dns  delay p99 %6dns over %d tuples\n",
-				s.Strategy, float64(s.PreprocessNS)/1e6, s.UpdatesPerSec, s.UpdateNS.P99,
+			fmt.Printf("  %-10s preprocess %8.2fms (bulk %8.2fms)  updates %8.0f/s (p99 %6dns)  count %d in %6dns  delay p99 %6dns over %d tuples\n",
+				s.Strategy, float64(s.PreprocessNS)/1e6, float64(s.BulkLoadNS)/1e6, s.UpdatesPerSec, s.UpdateNS.P99,
 				s.Count, s.CountNS, s.DelayNS.P99, s.EnumeratedTuples)
+			for _, b := range s.Batches {
+				fmt.Printf("             batch %5d: %8.0f updates/s over %d batches (%d net)\n",
+					b.BatchSize, b.UpdatesPerSec, b.Batches, b.NetApplied)
+			}
+		}
+	}
+	for _, sw := range rep.Sweeps {
+		fmt.Printf("\nsweep %s  %s\n", sw.Name, sw.Query)
+		for _, p := range sw.Points {
+			fmt.Printf("  n=%-6d", p.N)
+			for _, s := range p.Strategies {
+				fmt.Printf("  %s p50 %6dns p99 %6dns", s.Strategy, s.UpdateNS.P50, s.UpdateNS.P99)
+			}
+			fmt.Println()
 		}
 	}
 	return nil
+}
+
+// cmdBenchCompare implements the perf-regression gate:
+//
+//	dyncq bench -compare old.json new.json [-tolerance 0.30]
+//	            [-p99-tolerance 0.90] [-floor-ns 5000] [-include-sweeps]
+//
+// Flags may appear before or after the two report paths. Exits non-zero
+// (returns an error) when any latency percentile regressed: medians are
+// held to -tolerance, p99 tails to -p99-tolerance (default 3× the median
+// tolerance — tails jitter), and values below the floor are ignored as
+// timer noise.
+func cmdBenchCompare(args []string) error {
+	opt := bench.DefaultCompareOptions()
+	var files []string
+	for i := 0; i < len(args); i++ {
+		switch args[i] {
+		case "-tolerance", "--tolerance":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("-tolerance needs a value")
+			}
+			v, err := strconv.ParseFloat(args[i], 64)
+			if err != nil || v < 0 {
+				return fmt.Errorf("-tolerance: invalid value %q", args[i])
+			}
+			opt.Tolerance = v
+		case "-p99-tolerance", "--p99-tolerance":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("-p99-tolerance needs a value")
+			}
+			v, err := strconv.ParseFloat(args[i], 64)
+			if err != nil || v < 0 {
+				return fmt.Errorf("-p99-tolerance: invalid value %q", args[i])
+			}
+			opt.P99Tolerance = v
+		case "-include-sweeps", "--include-sweeps":
+			opt.IncludeSweeps = true
+		case "-floor-ns", "--floor-ns":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("-floor-ns needs a value")
+			}
+			v, err := strconv.ParseInt(args[i], 10, 64)
+			if err != nil || v < 0 {
+				return fmt.Errorf("-floor-ns: invalid value %q", args[i])
+			}
+			opt.FloorNS = v
+		case "-h", "--help":
+			fmt.Fprintln(os.Stderr, "usage: dyncq bench -compare old.json new.json [-tolerance 0.30] [-p99-tolerance 0.90] [-floor-ns 5000] [-include-sweeps]")
+			if len(args) == 1 {
+				return nil
+			}
+			// A gate command must not share the success exit path with a
+			// stray -h in a mangled invocation: no comparison ran.
+			return fmt.Errorf("bench -compare: -h given, no comparison performed")
+		default:
+			if strings.HasPrefix(args[i], "-") {
+				return fmt.Errorf("bench -compare: unknown flag %q", args[i])
+			}
+			files = append(files, args[i])
+		}
+	}
+	if len(files) != 2 {
+		return fmt.Errorf("bench -compare wants exactly two report paths, got %d", len(files))
+	}
+	oldRep, err := bench.LoadReport(files[0])
+	if err != nil {
+		return err
+	}
+	newRep, err := bench.LoadReport(files[1])
+	if err != nil {
+		return err
+	}
+	regs := bench.Compare(oldRep, newRep, opt)
+	if len(regs) == 0 {
+		fmt.Printf("no regressions: %s vs %s (tolerance %.0f%%, floor %dns)\n",
+			files[0], files[1], opt.Tolerance*100, opt.FloorNS)
+		return nil
+	}
+	for _, r := range regs {
+		fmt.Fprintln(os.Stderr, "regression:", r)
+	}
+	return fmt.Errorf("%d latency regression(s) beyond %.0f%% tolerance", len(regs), opt.Tolerance*100)
+}
+
+func parseIntList(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, err
+		}
+		if v <= 0 {
+			return nil, fmt.Errorf("size %d is not positive", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 // DefaultSuite builds the standard benchmark cases:
@@ -244,8 +404,15 @@ func cmdBench(args []string) error {
 //     non-q-hierarchical query where Theorem 3.3's lower bound bites and
 //     routing must fall back to IVM;
 //   - random-qh: a seed-derived random q-hierarchical query under a mixed
-//     insert/delete stream.
-func DefaultSuite(seed int64, n, streamLen, maxEnum int) ([]bench.Config, error) {
+//     insert/delete stream;
+//   - deep-paths: a 5-variable q-hierarchical query with arity-3 atoms
+//     and a self-join, whose long root paths make the per-update
+//     bottom-up propagation expensive — the workload where bulk Load's
+//     deferred weight pass pays off most.
+//
+// batchSizes configures the batch phase of every case (see
+// bench.Config.BatchSizes).
+func DefaultSuite(seed int64, n, streamLen, maxEnum int, batchSizes []int) ([]bench.Config, error) {
 	rng := rand.New(rand.NewSource(seed))
 
 	starQ, err := cq.Parse("Q(y) :- E(x,y), T(y)")
@@ -267,9 +434,45 @@ func DefaultSuite(seed int64, n, streamLen, maxEnum int) ([]bench.Config, error)
 	randQ := workload.RandomQHierarchical(rng, workload.DefaultQHOptions())
 	randStream := workload.RandomStream(rng, randQ.Schema(), 8, streamLen, 0.4)
 
+	deepQ, err := cq.Parse("Q(x,y,z,yp,zp) :- R(x,y,z), R(x,y,zp), E(x,y), E(x,yp), S(x,y,z)")
+	if err != nil {
+		return nil, err
+	}
+	deepDomain := n / 10
+	if deepDomain < 8 {
+		deepDomain = 8
+	}
+	deepInit := workload.RandomDatabase(rng, deepQ.Schema(), deepDomain, n).Updates()
+	deepStream := workload.RandomStream(rng, deepQ.Schema(), deepDomain, streamLen, 0.35)
+
 	return []bench.Config{
-		{Name: "star", Query: starQ, Initial: starInit, Stream: starStream, MaxEnumerate: maxEnum},
-		{Name: "hard-sqet", Query: hardQ, Initial: hardInit, Stream: hardStream, MaxEnumerate: maxEnum},
-		{Name: "random-qh", Query: randQ, Initial: nil, Stream: randStream, MaxEnumerate: maxEnum},
+		{Name: "star", Query: starQ, Initial: starInit, Stream: starStream, MaxEnumerate: maxEnum, BatchSizes: batchSizes},
+		{Name: "hard-sqet", Query: hardQ, Initial: hardInit, Stream: hardStream, MaxEnumerate: maxEnum, BatchSizes: batchSizes},
+		{Name: "random-qh", Query: randQ, Initial: nil, Stream: randStream, MaxEnumerate: maxEnum, BatchSizes: batchSizes},
+		{Name: "deep-paths", Query: deepQ, Initial: deepInit, Stream: deepStream, MaxEnumerate: maxEnum, BatchSizes: batchSizes},
+	}, nil
+}
+
+// StarSweep builds the scaling sweep over database size n for the star
+// workload: per-update latency of the core engine must stay flat as n
+// grows (Theorem 3.2's O(1) updates) while the IVM baseline's residual
+// joins grow, which the sweep records point by point.
+func StarSweep(seed int64, sizes []int, streamLen, maxEnum int) (bench.SweepConfig, error) {
+	starQ, err := cq.Parse("Q(y) :- E(x,y), T(y)")
+	if err != nil {
+		return bench.SweepConfig{}, err
+	}
+	return bench.SweepConfig{
+		Name:  "star-scaling",
+		Query: starQ,
+		Sizes: sizes,
+		Generate: func(n int) (initial, stream []dyndb.Update) {
+			// Fresh, size-seeded RNG per point: deterministic in (seed, n).
+			rng := rand.New(rand.NewSource(seed + int64(n)))
+			initial = workload.StarSchemaStream(rng, n, 3)
+			stream = workload.RandomStream(rng, starQ.Schema(), n, streamLen, 0.3)
+			return initial, stream
+		},
+		MaxEnumerate: maxEnum,
 	}, nil
 }

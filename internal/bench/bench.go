@@ -33,6 +33,16 @@ type Config struct {
 	// MaxEnumerate caps the number of tuples pulled during the delay
 	// measurement (0 = enumerate everything).
 	MaxEnumerate int
+	// BatchSizes lists the chunk sizes of the batch phase: for every size
+	// a fresh session bulk-loads Initial and applies Stream through
+	// ApplyBatch in chunks of that size, so the report shows how batching
+	// amortises maintenance against the per-update loop. Empty = skip.
+	BatchSizes []int
+	// Repeat runs every strategy measurement this many times and records
+	// the best latency per metric (noise in wall-clock measurement is
+	// one-sided, so best-of-R is the robust estimator the regression gate
+	// needs). 0 or 1 means a single run.
+	Repeat int
 }
 
 // Percentiles summarises a latency sample in nanoseconds.
@@ -61,11 +71,32 @@ func percentiles(sample []int64) Percentiles {
 	}
 }
 
+// BatchResult measures one batch size of the batch phase: the stream is
+// applied through Session.ApplyBatch in chunks of BatchSize on a fresh,
+// bulk-loaded session.
+type BatchResult struct {
+	BatchSize int `json:"batch_size"`
+	// Batches is how many chunks the stream split into; NetApplied is the
+	// total number of net commands that changed the database (coalescing
+	// makes this ≤ the stream length).
+	Batches    int `json:"batches"`
+	NetApplied int `json:"net_applied"`
+	// TotalNS is the wall time of the whole batched stream and
+	// UpdatesPerSec the resulting stream-level throughput; BatchNS
+	// summarises per-batch latencies.
+	TotalNS       int64       `json:"total_ns"`
+	UpdatesPerSec float64     `json:"updates_per_sec"`
+	BatchNS       Percentiles `json:"batch_ns"`
+}
+
 // StrategyResult is the measurement of one strategy on one case.
 type StrategyResult struct {
 	Strategy string `json:"strategy"`
-	// PreprocessNS is the wall time of replaying Initial.
+	// PreprocessNS is the wall time of replaying Initial one update at a
+	// time; BulkLoadNS is the wall time of Session.Load with the same
+	// initial database on a fresh session (0 if Initial is empty).
 	PreprocessNS int64 `json:"preprocess_ns"`
+	BulkLoadNS   int64 `json:"bulk_load_ns,omitempty"`
 	// Updates is len(Stream); UpdateNS summarises per-update latencies
 	// and UpdatesPerSec the resulting throughput.
 	Updates       int         `json:"updates"`
@@ -80,6 +111,8 @@ type StrategyResult struct {
 	// DelayNS summarises the per-tuple delays (first tuple included).
 	EnumeratedTuples int         `json:"enumerated_tuples"`
 	DelayNS          Percentiles `json:"delay_ns"`
+	// Batches holds the batch phase, one entry per Config.BatchSizes.
+	Batches []BatchResult `json:"batches,omitempty"`
 }
 
 // CaseResult is the full report for one benchmark case.
@@ -94,9 +127,10 @@ type CaseResult struct {
 
 // Report is the top-level JSON artifact.
 type Report struct {
-	CreatedUnix int64        `json:"created_unix"`
-	GoVersion   string       `json:"go_version,omitempty"`
-	Cases       []CaseResult `json:"cases"`
+	CreatedUnix int64         `json:"created_unix"`
+	GoVersion   string        `json:"go_version,omitempty"`
+	Cases       []CaseResult  `json:"cases"`
+	Sweeps      []SweepResult `json:"sweeps,omitempty"`
 }
 
 // RunCase measures every given strategy on the case. Strategies that
@@ -110,20 +144,81 @@ func RunCase(cfg Config, strategies []dyncq.Strategy) (CaseResult, error) {
 		InitialSize:   len(cfg.Initial),
 		StreamSize:    len(cfg.Stream),
 	}
+	initDB := dyndb.New()
+	if err := initDB.ApplyAll(cfg.Initial); err != nil {
+		return res, fmt.Errorf("case %s: building initial database: %w", cfg.Name, err)
+	}
+	reps := cfg.Repeat
+	if reps < 1 {
+		reps = 1
+	}
 	for _, st := range strategies {
-		sr, err := runStrategy(cfg, st)
-		if err != nil {
-			if st == dyncq.StrategyCore && !res.QHierarchical {
-				continue // expected: the core engine refuses the query
+		var best StrategyResult
+		skip := false
+		for rep := 0; rep < reps; rep++ {
+			sr, err := runStrategy(cfg, st, initDB)
+			if err != nil {
+				if st == dyncq.StrategyCore && !res.QHierarchical {
+					skip = true // expected: the core engine refuses the query
+					break
+				}
+				return res, fmt.Errorf("case %s, strategy %s: %w", cfg.Name, st, err)
 			}
-			return res, fmt.Errorf("case %s, strategy %s: %w", cfg.Name, st, err)
+			if rep == 0 {
+				best = sr
+			} else {
+				best = mergeBest(best, sr)
+			}
 		}
-		res.Strategies = append(res.Strategies, sr)
+		if !skip {
+			res.Strategies = append(res.Strategies, best)
+		}
 	}
 	return res, nil
 }
 
-func runStrategy(cfg Config, st dyncq.Strategy) (StrategyResult, error) {
+// mergeBest folds one repetition into the accumulated best-of result:
+// latencies take the minimum, throughputs the maximum. Counts and sizes
+// are identical across repetitions by construction.
+func mergeBest(a, b StrategyResult) StrategyResult {
+	minI := func(x, y int64) int64 {
+		if y < x {
+			return y
+		}
+		return x
+	}
+	minP := func(x, y Percentiles) Percentiles {
+		return Percentiles{
+			P50: minI(x.P50, y.P50),
+			P90: minI(x.P90, y.P90),
+			P99: minI(x.P99, y.P99),
+			Max: minI(x.Max, y.Max),
+		}
+	}
+	a.PreprocessNS = minI(a.PreprocessNS, b.PreprocessNS)
+	a.BulkLoadNS = minI(a.BulkLoadNS, b.BulkLoadNS)
+	a.UpdateTotalNS = minI(a.UpdateTotalNS, b.UpdateTotalNS)
+	if b.UpdatesPerSec > a.UpdatesPerSec {
+		a.UpdatesPerSec = b.UpdatesPerSec
+	}
+	a.UpdateNS = minP(a.UpdateNS, b.UpdateNS)
+	a.CountNS = minI(a.CountNS, b.CountNS)
+	a.DelayNS = minP(a.DelayNS, b.DelayNS)
+	for i := range a.Batches {
+		if i >= len(b.Batches) {
+			break
+		}
+		ab, bb := &a.Batches[i], b.Batches[i]
+		ab.TotalNS = minI(ab.TotalNS, bb.TotalNS)
+		if bb.UpdatesPerSec > ab.UpdatesPerSec {
+			ab.UpdatesPerSec = bb.UpdatesPerSec
+		}
+		ab.BatchNS = minP(ab.BatchNS, bb.BatchNS)
+	}
+	return a
+}
+
+func runStrategy(cfg Config, st dyncq.Strategy, initDB *dyndb.Database) (StrategyResult, error) {
 	sess, err := dyncq.NewWithOptions(cfg.Query, dyncq.Options{Force: st})
 	if err != nil {
 		return StrategyResult{}, err
@@ -137,6 +232,20 @@ func runStrategy(cfg Config, st dyncq.Strategy) (StrategyResult, error) {
 		return sr, fmt.Errorf("preprocessing: %w", err)
 	}
 	sr.PreprocessNS = time.Since(start).Nanoseconds()
+
+	// Bulk-load comparison: the same initial database through the batch
+	// pipeline on a fresh session.
+	if len(cfg.Initial) > 0 {
+		bulk, err := dyncq.NewWithOptions(cfg.Query, dyncq.Options{Force: st})
+		if err != nil {
+			return sr, err
+		}
+		t0 := time.Now()
+		if err := bulk.Load(initDB); err != nil {
+			return sr, fmt.Errorf("bulk load: %w", err)
+		}
+		sr.BulkLoadNS = time.Since(t0).Nanoseconds()
+	}
 
 	lat := make([]int64, 0, len(cfg.Stream))
 	for _, u := range cfg.Stream {
@@ -168,7 +277,54 @@ func runStrategy(cfg Config, st dyncq.Strategy) (StrategyResult, error) {
 	})
 	sr.EnumeratedTuples = len(delays)
 	sr.DelayNS = percentiles(delays)
+
+	// Batch phase: fresh session per size, bulk-loaded, stream applied in
+	// chunks through ApplyBatch.
+	for _, size := range cfg.BatchSizes {
+		if size < 1 {
+			continue
+		}
+		br, err := runBatched(cfg, st, initDB, size)
+		if err != nil {
+			return sr, fmt.Errorf("batch size %d: %w", size, err)
+		}
+		sr.Batches = append(sr.Batches, br)
+	}
 	return sr, nil
+}
+
+func runBatched(cfg Config, st dyncq.Strategy, initDB *dyndb.Database, size int) (BatchResult, error) {
+	sess, err := dyncq.NewWithOptions(cfg.Query, dyncq.Options{Force: st})
+	if err != nil {
+		return BatchResult{}, err
+	}
+	if err := sess.Load(initDB); err != nil {
+		return BatchResult{}, err
+	}
+	br := BatchResult{BatchSize: size}
+	lat := make([]int64, 0, len(cfg.Stream)/size+1)
+	for from := 0; from < len(cfg.Stream); from += size {
+		to := from + size
+		if to > len(cfg.Stream) {
+			to = len(cfg.Stream)
+		}
+		t0 := time.Now()
+		n, err := sess.ApplyBatch(cfg.Stream[from:to])
+		lat = append(lat, time.Since(t0).Nanoseconds())
+		br.NetApplied += n
+		if err != nil {
+			return br, err
+		}
+	}
+	br.Batches = len(lat)
+	for _, ns := range lat {
+		br.TotalNS += ns
+	}
+	if br.TotalNS > 0 {
+		br.UpdatesPerSec = float64(len(cfg.Stream)) / (float64(br.TotalNS) / 1e9)
+	}
+	br.BatchNS = percentiles(lat)
+	return br, nil
 }
 
 // Run measures all cases and assembles the report.

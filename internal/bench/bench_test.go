@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"dyncq/internal/cq"
+	"dyncq/internal/dyndb"
 	"dyncq/internal/workload"
 	"dyncq/pkg/dyncq"
 )
@@ -142,5 +143,88 @@ func TestPercentiles(t *testing.T) {
 	p := percentiles(sample)
 	if p.P50 != 50 || p.P90 != 90 || p.P99 != 99 || p.Max != 100 {
 		t.Fatalf("percentiles of 1..100: %+v", p)
+	}
+}
+
+func TestRunCaseBatchPhase(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	q := cq.MustParse("Q(y) :- E(x,y), T(y)")
+	cfg := Config{
+		Name:         "star-batched",
+		Query:        q,
+		Initial:      workload.StarSchemaStream(rng, 30, 2),
+		Stream:       workload.RandomStream(rng, q.Schema(), 30, 120, 0.3),
+		MaxEnumerate: 50,
+		BatchSizes:   []int{16, 64},
+	}
+	res, err := RunCase(cfg, allStrategies())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Strategies {
+		if s.BulkLoadNS <= 0 {
+			t.Errorf("%s: BulkLoadNS = %d, want > 0 (Initial is nonempty)", s.Strategy, s.BulkLoadNS)
+		}
+		if len(s.Batches) != 2 {
+			t.Fatalf("%s: %d batch results, want 2", s.Strategy, len(s.Batches))
+		}
+		for _, b := range s.Batches {
+			wantBatches := (len(cfg.Stream) + b.BatchSize - 1) / b.BatchSize
+			if b.Batches != wantBatches {
+				t.Errorf("%s size %d: %d batches, want %d", s.Strategy, b.BatchSize, b.Batches, wantBatches)
+			}
+			if b.NetApplied <= 0 || b.NetApplied > len(cfg.Stream) {
+				t.Errorf("%s size %d: net applied %d out of range (0,%d]", s.Strategy, b.BatchSize, b.NetApplied, len(cfg.Stream))
+			}
+			if b.TotalNS <= 0 {
+				t.Errorf("%s size %d: TotalNS = %d", s.Strategy, b.BatchSize, b.TotalNS)
+			}
+		}
+		// Same stream, same final state: the batched sessions are not read
+		// here, but net counts must agree across batch sizes (coalescing
+		// within different chunk boundaries can differ only when an
+		// insert/delete pair falls inside one chunk — verify monotone
+		// bound: larger chunks can only coalesce more).
+		if s.Batches[0].NetApplied < s.Batches[1].NetApplied {
+			t.Errorf("%s: larger batches applied more net commands (%d < %d)",
+				s.Strategy, s.Batches[0].NetApplied, s.Batches[1].NetApplied)
+		}
+	}
+}
+
+func TestRunSweep(t *testing.T) {
+	q := cq.MustParse("Q(y) :- E(x,y), T(y)")
+	cfg := SweepConfig{
+		Name:  "star-scaling",
+		Query: q,
+		Sizes: []int{20, 40},
+		Generate: func(n int) (initial, stream []dyndb.Update) {
+			rng := rand.New(rand.NewSource(int64(n)))
+			return workload.StarSchemaStream(rng, n, 2),
+				workload.RandomStream(rng, q.Schema(), n, 80, 0.3)
+		},
+		MaxEnumerate: 50,
+	}
+	res, err := RunSweep(cfg, allStrategies())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.QHierarchical {
+		t.Error("star query should classify q-hierarchical")
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("got %d points, want 2", len(res.Points))
+	}
+	for i, n := range cfg.Sizes {
+		p := res.Points[i]
+		if p.N != n {
+			t.Errorf("point %d: n = %d, want %d", i, p.N, n)
+		}
+		if p.InitialSize == 0 || p.StreamSize != 80 {
+			t.Errorf("point %d: initial %d stream %d", i, p.InitialSize, p.StreamSize)
+		}
+		if len(p.Strategies) != 3 {
+			t.Errorf("point %d: %d strategies, want 3", i, len(p.Strategies))
+		}
 	}
 }

@@ -1,0 +1,160 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// This file implements the CI perf-regression gate: two reports produced
+// by the same suite are diffed metric by metric, and any latency
+// percentile that grew beyond the tolerance is reported as a regression.
+// Cases, strategies, and sweep points are matched by name; entries
+// present in only one report are skipped, so reports from different
+// suite versions stay comparable on their common part.
+
+// CompareOptions tunes the regression check.
+type CompareOptions struct {
+	// Tolerance is the allowed relative growth of a median (p50): new >
+	// old*(1+Tolerance) flags a regression. 0.30 allows 30% growth.
+	Tolerance float64
+	// P99Tolerance is the allowed relative growth of a p99. Tail
+	// percentiles jitter far more than medians between runs (a single GC
+	// pause lands in the p99 of a 2000-sample stream); 0 means
+	// 3×Tolerance.
+	P99Tolerance float64
+	// FloorNS suppresses noise: a metric only counts as a regression when
+	// the new value is at least FloorNS. Single-digit-microsecond
+	// percentiles jitter beyond any real tolerance between runs.
+	FloorNS int64
+	// IncludeSweeps also gates the scaling-sweep points. Sweep streams are
+	// short, so their percentiles are the noisiest in the report; by
+	// default sweeps are informational only.
+	IncludeSweeps bool
+}
+
+// DefaultCompareOptions is the gate configuration used by the CLI when no
+// flags override it: 30% median tolerance (3× that for p99 tails) with a
+// 5µs noise floor, main cases only.
+func DefaultCompareOptions() CompareOptions {
+	return CompareOptions{Tolerance: 0.30, FloorNS: 5000}
+}
+
+func (o CompareOptions) p99Tolerance() float64 {
+	if o.P99Tolerance > 0 {
+		return o.P99Tolerance
+	}
+	return 3 * o.Tolerance
+}
+
+// Regression is one metric that grew beyond the tolerance.
+type Regression struct {
+	// Case identifies the measurement: "case/strategy" or
+	// "sweep/n=<size>/strategy".
+	Case string
+	// Metric names the latency percentile, e.g. "update_ns.p99".
+	Metric string
+	// Old and New are the baseline and current values in nanoseconds.
+	Old, New int64
+	// Ratio is New/Old.
+	Ratio float64
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s %s: %dns -> %dns (%.2fx)", r.Case, r.Metric, r.Old, r.New, r.Ratio)
+}
+
+// LoadReport reads a JSON report written by Report.WriteJSON.
+func LoadReport(path string) (Report, error) {
+	var rep Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// Compare diffs the per-update latency and enumeration-delay percentiles
+// of two reports, returning every regression beyond the tolerance. The
+// p50 and p99 of both distributions are compared (medians at Tolerance,
+// tails at the looser P99Tolerance); max is deliberately excluded as a
+// single-sample outlier magnet.
+func Compare(oldRep, newRep Report, opt CompareOptions) []Regression {
+	var regs []Regression
+	oldCases := make(map[string]CaseResult, len(oldRep.Cases))
+	for _, c := range oldRep.Cases {
+		oldCases[c.Name] = c
+	}
+	for _, nc := range newRep.Cases {
+		oc, ok := oldCases[nc.Name]
+		if !ok {
+			continue
+		}
+		regs = append(regs, compareStrategies(nc.Name, oc.Strategies, nc.Strategies, opt)...)
+	}
+	if !opt.IncludeSweeps {
+		return regs
+	}
+	oldSweeps := make(map[string]SweepResult, len(oldRep.Sweeps))
+	for _, s := range oldRep.Sweeps {
+		oldSweeps[s.Name] = s
+	}
+	for _, ns := range newRep.Sweeps {
+		oldSweep, ok := oldSweeps[ns.Name]
+		if !ok {
+			continue
+		}
+		oldPoints := make(map[int]SweepPoint, len(oldSweep.Points))
+		for _, p := range oldSweep.Points {
+			oldPoints[p.N] = p
+		}
+		for _, np := range ns.Points {
+			op, ok := oldPoints[np.N]
+			if !ok {
+				continue
+			}
+			label := fmt.Sprintf("%s/n=%d", ns.Name, np.N)
+			regs = append(regs, compareStrategies(label, op.Strategies, np.Strategies, opt)...)
+		}
+	}
+	return regs
+}
+
+func compareStrategies(label string, oldStrats, newStrats []StrategyResult, opt CompareOptions) []Regression {
+	old := make(map[string]StrategyResult, len(oldStrats))
+	for _, s := range oldStrats {
+		old[s.Strategy] = s
+	}
+	var regs []Regression
+	for _, ns := range newStrats {
+		oldStrat, ok := old[ns.Strategy]
+		if !ok {
+			continue
+		}
+		who := label + "/" + ns.Strategy
+		regs = append(regs, compareMetric(who, "update_ns.p50", oldStrat.UpdateNS.P50, ns.UpdateNS.P50, opt.Tolerance, opt)...)
+		regs = append(regs, compareMetric(who, "update_ns.p99", oldStrat.UpdateNS.P99, ns.UpdateNS.P99, opt.p99Tolerance(), opt)...)
+		regs = append(regs, compareMetric(who, "delay_ns.p50", oldStrat.DelayNS.P50, ns.DelayNS.P50, opt.Tolerance, opt)...)
+		regs = append(regs, compareMetric(who, "delay_ns.p99", oldStrat.DelayNS.P99, ns.DelayNS.P99, opt.p99Tolerance(), opt)...)
+	}
+	return regs
+}
+
+func compareMetric(who, metric string, oldV, newV int64, tol float64, opt CompareOptions) []Regression {
+	if oldV <= 0 || newV < opt.FloorNS {
+		return nil
+	}
+	if float64(newV) <= float64(oldV)*(1+tol) {
+		return nil
+	}
+	return []Regression{{
+		Case:   who,
+		Metric: metric,
+		Old:    oldV,
+		New:    newV,
+		Ratio:  float64(newV) / float64(oldV),
+	}}
+}

@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func mkReport(updP50, updP99, delayP50, delayP99 int64) Report {
+	return Report{
+		Cases: []CaseResult{{
+			Name: "star",
+			Strategies: []StrategyResult{{
+				Strategy: "core",
+				UpdateNS: Percentiles{P50: updP50, P99: updP99},
+				DelayNS:  Percentiles{P50: delayP50, P99: delayP99},
+			}},
+		}},
+	}
+}
+
+func TestCompareFlagsMedianRegression(t *testing.T) {
+	oldRep := mkReport(10000, 20000, 10000, 20000)
+	newRep := mkReport(15000, 20000, 10000, 20000) // p50 grew 1.5x
+	regs := Compare(oldRep, newRep, CompareOptions{Tolerance: 0.30, FloorNS: 2000})
+	if len(regs) != 1 {
+		t.Fatalf("got %d regressions, want 1: %v", len(regs), regs)
+	}
+	r := regs[0]
+	if r.Case != "star/core" || r.Metric != "update_ns.p50" || r.Old != 10000 || r.New != 15000 {
+		t.Errorf("regression = %+v", r)
+	}
+	if r.Ratio < 1.49 || r.Ratio > 1.51 {
+		t.Errorf("ratio = %f, want 1.5", r.Ratio)
+	}
+}
+
+func TestCompareP99GetsLooserTolerance(t *testing.T) {
+	oldRep := mkReport(10000, 20000, 10000, 20000)
+	// p99 at 1.8x: a median would be flagged, a tail must not be (default
+	// p99 tolerance is 3×0.30 = 0.90).
+	newRep := mkReport(10000, 36000, 10000, 20000)
+	if regs := Compare(oldRep, newRep, CompareOptions{Tolerance: 0.30, FloorNS: 2000}); len(regs) != 0 {
+		t.Errorf("p99 within its looser tolerance flagged: %v", regs)
+	}
+	// p99 at 2.5x exceeds even the tail tolerance.
+	newRep = mkReport(10000, 50000, 10000, 20000)
+	regs := Compare(oldRep, newRep, CompareOptions{Tolerance: 0.30, FloorNS: 2000})
+	if len(regs) != 1 || regs[0].Metric != "update_ns.p99" {
+		t.Fatalf("p99 beyond tail tolerance: %v", regs)
+	}
+	// An explicit P99Tolerance overrides the 3× default.
+	regs = Compare(oldRep, mkReport(10000, 36000, 10000, 20000),
+		CompareOptions{Tolerance: 0.30, P99Tolerance: 0.30, FloorNS: 2000})
+	if len(regs) != 1 {
+		t.Errorf("explicit P99Tolerance ignored: %v", regs)
+	}
+}
+
+func TestCompareWithinTolerance(t *testing.T) {
+	oldRep := mkReport(10000, 20000, 10000, 20000)
+	newRep := mkReport(12000, 25000, 12999, 25999) // p50 ≤ 1.30x, p99 ≤ 1.90x
+	if regs := Compare(oldRep, newRep, CompareOptions{Tolerance: 0.30, FloorNS: 2000}); len(regs) != 0 {
+		t.Errorf("regressions within tolerance: %v", regs)
+	}
+}
+
+func TestCompareFloorSuppressesNoise(t *testing.T) {
+	// 100ns -> 1900ns is a 19x blowup but below the noise floor.
+	oldRep := mkReport(100, 100, 100, 100)
+	newRep := mkReport(1900, 1900, 1900, 1900)
+	if regs := Compare(oldRep, newRep, CompareOptions{Tolerance: 0.30, FloorNS: 2000}); len(regs) != 0 {
+		t.Errorf("sub-floor growth flagged: %v", regs)
+	}
+	// Crossing the floor is flagged.
+	newRep = mkReport(2100, 100, 100, 100)
+	regs := Compare(oldRep, newRep, CompareOptions{Tolerance: 0.30, FloorNS: 2000})
+	if len(regs) != 1 || regs[0].Metric != "update_ns.p50" {
+		t.Errorf("floor crossing: %v", regs)
+	}
+}
+
+func TestCompareImprovementPasses(t *testing.T) {
+	oldRep := mkReport(50000, 90000, 50000, 90000)
+	newRep := mkReport(10000, 20000, 10000, 20000)
+	if regs := Compare(oldRep, newRep, DefaultCompareOptions()); len(regs) != 0 {
+		t.Errorf("improvement flagged as regression: %v", regs)
+	}
+}
+
+func TestCompareSkipsUnmatchedEntries(t *testing.T) {
+	oldRep := mkReport(10000, 10000, 10000, 10000)
+	newRep := Report{
+		Cases: []CaseResult{
+			{Name: "other", Strategies: []StrategyResult{{Strategy: "core", UpdateNS: Percentiles{P99: 1 << 40}}}},
+			{Name: "star", Strategies: []StrategyResult{{Strategy: "ivm", UpdateNS: Percentiles{P99: 1 << 40}}}},
+		},
+	}
+	if regs := Compare(oldRep, newRep, DefaultCompareOptions()); len(regs) != 0 {
+		t.Errorf("unmatched case/strategy compared: %v", regs)
+	}
+}
+
+func TestCompareSweeps(t *testing.T) {
+	sweep := func(p99 int64) []SweepResult {
+		return []SweepResult{{
+			Name: "star-scaling",
+			Points: []SweepPoint{{
+				N: 100,
+				Strategies: []StrategyResult{{
+					Strategy: "core",
+					UpdateNS: Percentiles{P50: 10000, P99: p99},
+					DelayNS:  Percentiles{P50: 10000, P99: 10000},
+				}},
+			}},
+		}}
+	}
+	oldRep := Report{Sweeps: sweep(10000)}
+	newRep := Report{Sweeps: sweep(50000)}
+	// Sweeps are informational by default.
+	if regs := Compare(oldRep, newRep, DefaultCompareOptions()); len(regs) != 0 {
+		t.Fatalf("sweeps gated without IncludeSweeps: %v", regs)
+	}
+	opt := DefaultCompareOptions()
+	opt.IncludeSweeps = true
+	regs := Compare(oldRep, newRep, opt)
+	if len(regs) != 1 || regs[0].Case != "star-scaling/n=100/core" {
+		t.Fatalf("sweep comparison: %v", regs)
+	}
+}
+
+func TestLoadReportRoundTrip(t *testing.T) {
+	rep := mkReport(1, 2, 3, 4)
+	rep.CreatedUnix = 42
+	path := filepath.Join(t.TempDir(), "r.json")
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.CreatedUnix != 42 || len(got.Cases) != 1 || got.Cases[0].Strategies[0].UpdateNS.P99 != 2 {
+		t.Errorf("round trip lost data: %+v", got)
+	}
+	if _, err := LoadReport(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file loaded")
+	}
+}

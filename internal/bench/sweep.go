@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"fmt"
+
+	"dyncq/internal/cq"
+	"dyncq/internal/dyndb"
+	"dyncq/internal/qtree"
+	"dyncq/pkg/dyncq"
+)
+
+// This file implements scaling sweeps: the same workload generated at a
+// range of database sizes n, so the report shows how per-update latency
+// grows with n instead of asserting it. For a q-hierarchical query the
+// core engine's per-update percentiles must stay flat across the sweep
+// (Theorem 3.2's O(1) update time), while the IVM baseline's residual
+// joins grow with n — that contrast is the paper's central claim, made
+// visible as data.
+
+// SweepConfig describes one scaling sweep.
+type SweepConfig struct {
+	// Name labels the sweep in the report.
+	Name string
+	// Query is the maintained query.
+	Query *cq.Query
+	// Sizes lists the database sizes n to measure, in order.
+	Sizes []int
+	// Generate builds the initial database and measured stream for one
+	// size. It must be deterministic in n for comparable reports.
+	Generate func(n int) (initial, stream []dyndb.Update)
+	// MaxEnumerate caps the tuples pulled during the delay measurement.
+	MaxEnumerate int
+	// Repeat is Config.Repeat for every point.
+	Repeat int
+}
+
+// SweepPoint is the measurement of all strategies at one size n.
+type SweepPoint struct {
+	N           int              `json:"n"`
+	InitialSize int              `json:"initial_size"`
+	StreamSize  int              `json:"stream_size"`
+	Strategies  []StrategyResult `json:"strategies"`
+}
+
+// SweepResult is the full report of one scaling sweep.
+type SweepResult struct {
+	Name          string       `json:"name"`
+	Query         string       `json:"query"`
+	QHierarchical bool         `json:"q_hierarchical"`
+	Points        []SweepPoint `json:"points"`
+}
+
+// RunSweep measures every strategy at every size of the sweep. Strategies
+// that cannot serve the query are skipped, as in RunCase.
+func RunSweep(cfg SweepConfig, strategies []dyncq.Strategy) (SweepResult, error) {
+	res := SweepResult{
+		Name:          cfg.Name,
+		Query:         cfg.Query.String(),
+		QHierarchical: qtree.IsQHierarchical(cfg.Query),
+	}
+	for _, n := range cfg.Sizes {
+		initial, stream := cfg.Generate(n)
+		cr, err := RunCase(Config{
+			Name:         fmt.Sprintf("%s/n=%d", cfg.Name, n),
+			Query:        cfg.Query,
+			Initial:      initial,
+			Stream:       stream,
+			MaxEnumerate: cfg.MaxEnumerate,
+			Repeat:       cfg.Repeat,
+		}, strategies)
+		if err != nil {
+			return res, err
+		}
+		res.Points = append(res.Points, SweepPoint{
+			N:           n,
+			InitialSize: len(initial),
+			StreamSize:  len(stream),
+			Strategies:  cr.Strategies,
+		})
+	}
+	return res, nil
+}

@@ -1,0 +1,308 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"dyncq/internal/cq"
+	"dyncq/internal/dyndb"
+	"dyncq/internal/eval"
+	"dyncq/internal/tuplekey"
+	"dyncq/internal/workload"
+)
+
+// TestApplyBatchMatchesSequential drives random q-hierarchical queries
+// through the same random stream twice — one engine per update, one in
+// batches — and demands identical counts, identical result sets, and
+// intact invariants after every batch.
+func TestApplyBatchMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	trials := 40
+	if testing.Short() {
+		trials = 10
+	}
+	for trial := 0; trial < trials; trial++ {
+		q := workload.RandomQHierarchical(rng, workload.DefaultQHOptions())
+		seq, err := New(q)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		bat, err := New(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream := workload.RandomStream(rng, q.Schema(), 4, 150, 0.35)
+		size := 1 + rng.Intn(40)
+		for from := 0; from < len(stream); from += size {
+			to := from + size
+			if to > len(stream) {
+				to = len(stream)
+			}
+			chunk := stream[from:to]
+			for _, u := range chunk {
+				if _, err := seq.Apply(u); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if _, err := bat.ApplyBatch(chunk); err != nil {
+				t.Fatalf("trial %d query %s: ApplyBatch: %v", trial, q, err)
+			}
+			if seq.Count() != bat.Count() {
+				t.Fatalf("trial %d query %s batch %d: sequential count %d, batch count %d",
+					trial, q, size, seq.Count(), bat.Count())
+			}
+			if err := bat.checkInvariants(); err != nil {
+				t.Fatalf("trial %d query %s: %v", trial, q, err)
+			}
+		}
+		want := map[string]bool{}
+		seq.Enumerate(func(tup []Value) bool {
+			want[tuplekey.String(tup)] = true
+			return true
+		})
+		got := 0
+		bat.Enumerate(func(tup []Value) bool {
+			if !want[tuplekey.String(tup)] {
+				t.Fatalf("trial %d query %s: spurious tuple %v in batched engine", trial, q, tup)
+			}
+			got++
+			return true
+		})
+		if got != len(want) {
+			t.Fatalf("trial %d query %s: batched engine enumerated %d tuples, sequential %d",
+				trial, q, got, len(want))
+		}
+	}
+}
+
+// TestApplyBatchCoalesces checks that insert/delete pairs on the same
+// tuple cancel: the data structure is never touched, the version does not
+// advance, and the net count is 0.
+func TestApplyBatchCoalesces(t *testing.T) {
+	e := mustEngine(t, "Q(y) :- E(x,y), T(y)")
+	v0 := e.version
+	n, err := e.ApplyBatch([]dyndb.Update{
+		dyndb.Insert("E", 1, 2),
+		dyndb.Insert("T", 2),
+		dyndb.Delete("T", 2),
+		dyndb.Delete("E", 1, 2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("net applied = %d, want 0", n)
+	}
+	if e.version != v0 {
+		t.Error("cancelled batch advanced the engine version")
+	}
+	if e.Cardinality() != 0 {
+		t.Errorf("|D| = %d after cancelled batch, want 0", e.Cardinality())
+	}
+	// The last op per tuple wins: insert-delete-insert nets to one insert.
+	n, err = e.ApplyBatch([]dyndb.Update{
+		dyndb.Insert("E", 1, 2),
+		dyndb.Delete("E", 1, 2),
+		dyndb.Insert("E", 1, 2),
+		dyndb.Insert("T", 2),
+	})
+	if err != nil || n != 2 {
+		t.Fatalf("net applied = %d (%v), want 2", n, err)
+	}
+	if e.Count() != 1 {
+		t.Errorf("count = %d, want 1", e.Count())
+	}
+}
+
+// TestApplyBatchArityError checks that an arity error anywhere in the
+// batch rejects the whole batch before any change, matching ivm.
+func TestApplyBatchArityError(t *testing.T) {
+	e := mustEngine(t, "Q(y) :- E(x,y), T(y)")
+	n, err := e.ApplyBatch([]dyndb.Update{
+		dyndb.Insert("E", 1, 2),
+		dyndb.Insert("T", 2, 3), // arity 2 against unary T
+	})
+	if err == nil {
+		t.Fatal("arity mismatch in batch accepted")
+	}
+	if n != 0 || e.Cardinality() != 0 {
+		t.Errorf("batch partially applied: net=%d |D|=%d, want 0 0", n, e.Cardinality())
+	}
+}
+
+// TestApplyBatchErrorInvalidatesIterators: a batch that mutates the
+// structure and then errors must still advance the version, so a stale
+// iterator panics instead of walking mutated lists.
+func TestApplyBatchErrorInvalidatesIterators(t *testing.T) {
+	e := mustEngine(t, "Q(y) :- E(x,y), T(y)")
+	if _, err := e.ApplyBatch([]dyndb.Update{dyndb.Insert("E", 1, 2), dyndb.Insert("T", 2)}); err != nil {
+		t.Fatal(err)
+	}
+	it := e.Iterator()
+	if _, ok := it.Next(); !ok {
+		t.Fatal("expected one tuple")
+	}
+	// The delete applies and unlinks items; the unknown-relation arity
+	// conflict errors afterwards (schema pre-validation cannot see it).
+	if _, err := e.Insert("X", 1); err != nil {
+		t.Fatal(err)
+	}
+	it = e.Iterator()
+	n, err := e.ApplyBatch([]dyndb.Update{
+		dyndb.Delete("T", 2),
+		dyndb.Insert("X", 1, 2), // X exists with arity 1: db-level error
+	})
+	if err == nil {
+		t.Fatal("expected a db-level arity error")
+	}
+	if n != 1 {
+		t.Fatalf("applied = %d before the error, want 1", n)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Next on an iterator staled by an erroring batch did not panic")
+		}
+	}()
+	it.Next()
+}
+
+// TestBulkLoadMatchesReplayAndOracle compares the bulk Load path against
+// a single-update replay and the static oracle on random databases:
+// same counts, same result sets, intact invariants, and a deterministic
+// enumeration order across repeated bulk loads.
+func TestBulkLoadMatchesReplayAndOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	trials := 30
+	if testing.Short() {
+		trials = 8
+	}
+	for trial := 0; trial < trials; trial++ {
+		q := workload.RandomQHierarchical(rng, workload.DefaultQHOptions())
+		db := workload.RandomDatabase(rng, q.Schema(), 5, 25)
+		bulk, err := New(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := bulk.Load(db); err != nil {
+			t.Fatalf("trial %d query %s: bulk load: %v", trial, q, err)
+		}
+		if err := bulk.checkInvariants(); err != nil {
+			t.Fatalf("trial %d query %s: bulk load invariants: %v", trial, q, err)
+		}
+		replay, err := New(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := replay.ApplyAll(db.Updates()); err != nil {
+			t.Fatal(err)
+		}
+		if bulk.Count() != replay.Count() {
+			t.Fatalf("trial %d query %s: bulk count %d, replay count %d", trial, q, bulk.Count(), replay.Count())
+		}
+		if want := eval.Count(q, db); bulk.Count() != uint64(want) {
+			t.Fatalf("trial %d query %s: bulk count %d, oracle %d", trial, q, bulk.Count(), want)
+		}
+		compareEnumeration(t, bulk, q, db, trial, -1)
+
+		// Determinism: a second bulk load enumerates the same sequence.
+		again, err := New(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := again.Load(db); err != nil {
+			t.Fatal(err)
+		}
+		var first, second [][]Value
+		bulk.Enumerate(func(tup []Value) bool {
+			first = append(first, append([]Value(nil), tup...))
+			return true
+		})
+		again.Enumerate(func(tup []Value) bool {
+			second = append(second, append([]Value(nil), tup...))
+			return true
+		})
+		if len(first) != len(second) {
+			t.Fatalf("trial %d: repeated bulk loads enumerate %d vs %d tuples", trial, len(first), len(second))
+		}
+		for i := range first {
+			if !tuplekey.Equal(first[i], second[i]) {
+				t.Fatalf("trial %d: repeated bulk loads diverge at tuple %d: %v vs %v",
+					trial, i, first[i], second[i])
+			}
+		}
+	}
+}
+
+// TestBulkLoadThenUpdates checks that the structure built by bulk Load
+// behaves identically to a replay-built one under subsequent updates,
+// including draining back to empty.
+func TestBulkLoadThenUpdates(t *testing.T) {
+	q := cq.MustParse("Q(x,y,z,yp,zp) :- R(x,y,z), R(x,y,zp), E(x,y), E(x,yp), S(x,y,z)")
+	rng := rand.New(rand.NewSource(17))
+	db := workload.RandomDatabase(rng, q.Schema(), 5, 30)
+	e, err := New(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Load(db); err != nil {
+		t.Fatal(err)
+	}
+	oracle := db.Clone()
+	stream := workload.RandomStream(rng, q.Schema(), 5, 200, 0.5)
+	for _, u := range stream {
+		if _, err := e.Apply(u); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := oracle.Apply(u); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := e.Count(), eval.Count(q, oracle); got != uint64(want) {
+			t.Fatalf("after %s: count %d, oracle %d", u, got, want)
+		}
+	}
+	if err := e.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Drain everything inserted so far; the structure must reach pristine
+	// state even though it was built by the bulk path.
+	if _, err := e.ApplyBatch(oracle.Updates()); err != nil {
+		t.Fatal(err)
+	}
+	del := oracle.Updates()
+	for i := range del {
+		del[i].Op = dyndb.OpDelete
+	}
+	if _, err := e.ApplyBatch(del); err != nil {
+		t.Fatal(err)
+	}
+	if e.Count() != 0 || e.Answer() {
+		t.Errorf("count=%d answer=%v after draining", e.Count(), e.Answer())
+	}
+	for _, c := range e.comps {
+		for ni, m := range c.index {
+			if m.Len() != 0 {
+				t.Errorf("node %s still has %d items after draining", c.nodes[ni].name, m.Len())
+			}
+		}
+	}
+}
+
+// TestBulkLoadNonEmptyEngineFallsBack: loading into a non-empty engine
+// must keep replay semantics (add the tuples, don't rebuild).
+func TestBulkLoadNonEmptyEngineFallsBack(t *testing.T) {
+	e := mustEngine(t, "Q(y) :- E(x,y), T(y)")
+	if _, err := e.Insert("E", 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	db := dyndb.New()
+	db.Insert("T", 2)
+	if err := e.Load(db); err != nil {
+		t.Fatal(err)
+	}
+	if e.Count() != 1 {
+		t.Errorf("count = %d after loading T into a non-empty engine, want 1", e.Count())
+	}
+	if err := e.checkInvariants(); err != nil {
+		t.Error(err)
+	}
+}

@@ -362,11 +362,18 @@ func (e *Engine) ApplyAll(updates []dyndb.Update) error {
 	return nil
 }
 
-// Load performs the preprocessing phase for an initial database D0 by
-// replaying its tuples as insertions — |D0| constant-time updates, hence
-// linear preprocessing overall (Section 6.4).
+// Load performs the preprocessing phase for an initial database D0. On an
+// empty engine it runs the bulk build of batch.go: one linear counting
+// pass over D0 followed by a single bottom-up weight pass, instead of
+// |D0| full single-tuple update procedures. A non-empty engine falls back
+// to replaying D0's tuples as insertions. Both paths are linear in |D0|
+// (Section 6.4); the bulk path just pays the bottom-up propagation once
+// per item instead of once per tuple.
 func (e *Engine) Load(db *dyndb.Database) error {
-	return e.ApplyAll(db.Updates())
+	if e.db.Cardinality() != 0 {
+		return e.ApplyAll(db.Updates())
+	}
+	return e.loadBulk(db)
 }
 
 // updateAtom is the per-atom part of the Section 6.4 update procedure: if
@@ -400,22 +407,12 @@ func (e *Engine) updateAtom(ref atomRef, tuple []Value, insert bool) {
 				panic(fmt.Sprintf("core: missing item for %s at node %s during delete (corrupted structure)",
 					a.rel, c.nodes[nodeIdx].name))
 			}
-			nd := &c.nodes[nodeIdx]
-			key := append([]Value(nil), vals[:j+1]...)
-			it = &item{
-				key:       key,
-				counts:    make([]uint64, nd.numTracked),
-				childSum:  make([]uint64, len(nd.children)),
-				childHead: make([]*item, len(nd.children)),
-				childTail: make([]*item, len(nd.children)),
-			}
-			if nd.free && nd.freeChildCount > 0 {
-				it.fchildSum = make([]uint64, nd.freeChildCount)
-			}
+			var parent *item
 			if j > 0 {
-				it.parent = items[j-1]
+				parent = items[j-1]
 			}
-			m.Put(key, it)
+			it = newItem(&c.nodes[nodeIdx], vals[:j+1], parent)
+			m.Put(it.key, it)
 		}
 		items[j] = it
 		if insert {
@@ -496,6 +493,23 @@ func (e *Engine) updateAtom(ref atomRef, tuple []Value, insert bool) {
 			}
 		}
 	}
+}
+
+// newItem allocates a fresh zero-count item for node nd with the given
+// path values (copied) and parent.
+func newItem(nd *cnode, vals []Value, parent *item) *item {
+	it := &item{
+		key:       append([]Value(nil), vals...),
+		parent:    parent,
+		counts:    make([]uint64, nd.numTracked),
+		childSum:  make([]uint64, len(nd.children)),
+		childHead: make([]*item, len(nd.children)),
+		childTail: make([]*item, len(nd.children)),
+	}
+	if nd.free && nd.freeChildCount > 0 {
+		it.fchildSum = make([]uint64, nd.freeChildCount)
+	}
+	return it
 }
 
 // listOf returns the head and tail pointers of the list it belongs to:

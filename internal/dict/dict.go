@@ -64,6 +64,17 @@ func (d *Dict) Decode(code int64) string {
 	return d.names[code-1]
 }
 
+// TryDecode returns the external name for code without panicking: the
+// second result reports whether code was ever assigned. Use it for codes
+// from untrusted input (streams, wire formats); Decode remains the right
+// call for codes that are internal invariants.
+func (d *Dict) TryDecode(code int64) (string, bool) {
+	if code < 1 || code > int64(len(d.names)) {
+		return "", false
+	}
+	return d.names[code-1], true
+}
+
 // DecodeAll decodes a tuple of codes into a freshly allocated name slice.
 func (d *Dict) DecodeAll(codes []int64) []string {
 	out := make([]string, len(codes))

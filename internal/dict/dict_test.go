@@ -119,3 +119,42 @@ func TestQuickInjective(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestTryDecode(t *testing.T) {
+	d := New()
+	c := d.Encode("known")
+	if got, ok := d.TryDecode(c); !ok || got != "known" {
+		t.Errorf("TryDecode(%d) = %q,%v want known,true", c, got, ok)
+	}
+	for _, bad := range []int64{0, -1, 2, 1 << 40} {
+		if got, ok := d.TryDecode(bad); ok {
+			t.Errorf("TryDecode(%d) = %q,true want _,false", bad, got)
+		}
+	}
+}
+
+func TestStableUnderReinsertion(t *testing.T) {
+	// Codes must survive arbitrary interleavings of old and new names:
+	// re-encoding any prefix never shifts an assigned code.
+	d := New()
+	names := make([]string, 200)
+	codes := make([]int64, 200)
+	for i := range names {
+		names[i] = fmt.Sprintf("name-%d", i)
+		codes[i] = d.Encode(names[i])
+		// Re-insert every name seen so far, in reverse.
+		for j := i; j >= 0; j-- {
+			if c := d.Encode(names[j]); c != codes[j] {
+				t.Fatalf("after %d inserts: Encode(%s) = %d, want %d", i+1, names[j], c, codes[j])
+			}
+		}
+	}
+	if d.Len() != 200 {
+		t.Errorf("Len = %d, want 200", d.Len())
+	}
+	for i, c := range codes {
+		if got := d.Decode(c); got != names[i] {
+			t.Errorf("Decode(%d) = %q, want %q", c, got, names[i])
+		}
+	}
+}

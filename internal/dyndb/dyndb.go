@@ -208,6 +208,34 @@ func (d *Database) Apply(u Update) (bool, error) {
 	return d.Delete(u.Rel, u.Tuple...)
 }
 
+// Coalesce reduces a batch of update commands to its net effect: for every
+// (relation, tuple) pair only the last command in the batch survives,
+// since under set semantics the final presence of a tuple is decided by
+// the last command touching it and commands on distinct tuples commute.
+// Surviving commands keep the order in which their tuple first appeared
+// in the batch, so coalescing is deterministic. The input is not modified.
+func Coalesce(updates []Update) []Update {
+	if len(updates) <= 1 {
+		return append([]Update(nil), updates...)
+	}
+	slot := make(map[string]int, len(updates))
+	out := make([]Update, 0, len(updates))
+	var key []byte
+	for _, u := range updates {
+		key = key[:0]
+		key = append(key, u.Rel...)
+		key = append(key, 0)
+		key = append(key, tuplekey.String(u.Tuple)...)
+		if i, ok := slot[string(key)]; ok {
+			out[i] = u
+			continue
+		}
+		slot[string(key)] = len(out)
+		out = append(out, u)
+	}
+	return out
+}
+
 // ApplyAll executes a sequence of update commands, stopping at the first
 // error.
 func (d *Database) ApplyAll(updates []Update) error {

@@ -217,3 +217,64 @@ func TestUpdateString(t *testing.T) {
 		t.Errorf("String() = %q", u.String())
 	}
 }
+
+func TestCoalesce(t *testing.T) {
+	in := []Update{
+		Insert("E", 1, 2),
+		Insert("T", 5),
+		Delete("E", 1, 2), // cancels nothing at db level but supersedes the insert
+		Insert("E", 3, 4),
+		Insert("E", 1, 2), // last op on E(1,2) wins again
+		Delete("T", 5),
+	}
+	got := Coalesce(in)
+	want := []Update{
+		Insert("E", 1, 2), // slot of first appearance, final op = insert
+		Delete("T", 5),
+		Insert("E", 3, 4),
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Coalesce gave %d updates, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i].String() != want[i].String() {
+			t.Errorf("coalesced[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// The input must be untouched.
+	if in[0].String() != "insert E[1 2]" {
+		t.Errorf("input mutated: %v", in[0])
+	}
+}
+
+func TestCoalesceDistinguishesRelations(t *testing.T) {
+	// Same tuple in different relations must not merge; relation names that
+	// could collide under naive concatenation must stay distinct.
+	got := Coalesce([]Update{
+		Insert("E", 1),
+		Insert("F", 1),
+		Delete("E", 1),
+	})
+	if len(got) != 2 {
+		t.Fatalf("Coalesce merged across relations: %v", got)
+	}
+	if got[0].Op != OpDelete || got[0].Rel != "E" || got[1].Op != OpInsert || got[1].Rel != "F" {
+		t.Errorf("coalesced = %v", got)
+	}
+}
+
+func TestCoalescedApply(t *testing.T) {
+	d := New()
+	if err := d.ApplyAll(Coalesce([]Update{
+		Insert("E", 1, 2),
+		Insert("E", 1, 2), // duplicate coalesces away
+		Insert("T", 7),
+		Delete("T", 7), // cancels the insert
+		Insert("E", 3, 4),
+	})); err != nil {
+		t.Fatal(err)
+	}
+	if d.Cardinality() != 2 || !d.Has("E", 1, 2) || !d.Has("E", 3, 4) || d.Has("T", 7) {
+		t.Errorf("unexpected state: |D|=%d", d.Cardinality())
+	}
+}

@@ -32,6 +32,16 @@ type Value = dyndb.Value
 // of an updated relation onto the updated tuple.
 type Pinned map[int][]Value
 
+// Restricted maps an atom index (into q.Atoms) to an explicit tuple set:
+// during evaluation that atom matches only the listed tuples instead of
+// its full relation. This is the batch analogue of Pinned — the IVM
+// batched delta rules restrict occurrences of an updated relation to the
+// batch's delta tuples, so the residual join against the base relations
+// runs once per batch instead of once per tuple. Callers guarantee the
+// listed tuples belong to the database state being evaluated; tuples of
+// the wrong arity are skipped, matching Pinned.
+type Restricted map[int][][]Value
+
 // Result is a set of distinct head tuples.
 type Result struct {
 	arity int
@@ -109,8 +119,16 @@ func Answer(q *cq.Query, db *dyndb.Database) bool {
 // is non-nil its indexes are used and extended; otherwise a transient
 // index set over db is built.
 func CountValuations(q *cq.Query, db *dyndb.Database, pinned Pinned, idx *IndexSet) map[string]int64 {
+	return CountValuationsRestricted(q, db, pinned, nil, idx)
+}
+
+// CountValuationsRestricted is CountValuations with additional restricted
+// atoms: atoms in restricted range only over their listed tuple sets (see
+// Restricted). Pinning and restricting the same atom is a programming
+// error; the pin wins.
+func CountValuationsRestricted(q *cq.Query, db *dyndb.Database, pinned Pinned, restricted Restricted, idx *IndexSet) map[string]int64 {
 	out := make(map[string]int64)
-	run(q, db, pinned, idx, func(head []Value) bool {
+	runRestricted(q, db, pinned, restricted, idx, func(head []Value) bool {
 		out[tuplekey.String(head)]++
 		return true
 	})
@@ -121,6 +139,10 @@ func CountValuations(q *cq.Query, db *dyndb.Database, pinned Pinned, idx *IndexS
 // overrides), calling emit with the head projection of each until emit
 // returns false. The head slice passed to emit is reused between calls.
 func run(q *cq.Query, db *dyndb.Database, pinned Pinned, idx *IndexSet, emit func(head []Value) bool) {
+	runRestricted(q, db, pinned, nil, idx, emit)
+}
+
+func runRestricted(q *cq.Query, db *dyndb.Database, pinned Pinned, restricted Restricted, idx *IndexSet, emit func(head []Value) bool) {
 	if idx == nil {
 		idx = NewIndexSet(db)
 	} else if idx.db != db {
@@ -139,6 +161,8 @@ func run(q *cq.Query, db *dyndb.Database, pinned Pinned, idx *IndexSet, emit fun
 		}
 		if t, ok := pinned[i]; ok {
 			ca.pinTo, ca.pinSet = t, true
+		} else if ts, ok := restricted[i]; ok {
+			ca.restrict, ca.restrictSet = ts, true
 		}
 		atoms[i] = ca
 	}
@@ -201,6 +225,17 @@ func run(q *cq.Query, db *dyndb.Database, pinned Pinned, idx *IndexSet, emit fun
 			}
 			return
 		}
+		if a.restrictSet {
+			for _, t := range a.restrict {
+				if len(t) == len(a.args) {
+					tryTuple(t)
+				}
+				if stopped {
+					return
+				}
+			}
+			return
+		}
 		rel := db.Relation(a.rel)
 		if rel == nil {
 			return // empty relation: no matches
@@ -247,11 +282,13 @@ func run(q *cq.Query, db *dyndb.Database, pinned Pinned, idx *IndexSet, emit fun
 // catom is an atom compiled for evaluation: argument variables resolved
 // to indices, with an optional pinned tuple.
 type catom struct {
-	orig   int
-	rel    string
-	args   []int // variable indices per position
-	pinTo  []Value
-	pinSet bool
+	orig        int
+	rel         string
+	args        []int // variable indices per position
+	pinTo       []Value
+	pinSet      bool
+	restrict    [][]Value
+	restrictSet bool
 }
 
 func planOrder(atoms []catom, db *dyndb.Database) []int {
@@ -275,6 +312,8 @@ func planOrder(atoms []catom, db *dyndb.Database) []int {
 			score := 0
 			if a.pinSet {
 				score = 1 << 20 // pinned: essentially free, schedule first
+			} else if a.restrictSet {
+				score = 1 << 19 // restricted: a small delta set, schedule early
 			}
 			for _, vi := range a.args {
 				if boundVars[vi] {
@@ -282,6 +321,9 @@ func planOrder(atoms []catom, db *dyndb.Database) []int {
 				}
 			}
 			size := relSize(a.rel)
+			if a.restrictSet {
+				size = len(a.restrict)
+			}
 			if best == -1 || score > bestScore || (score == bestScore && size < bestSize) {
 				best, bestScore, bestSize = i, score, size
 			}

@@ -282,3 +282,65 @@ func bruteForce(q *cq.Query, db *dyndb.Database) map[string]bool {
 	}
 	return out
 }
+
+func TestCountValuationsRestricted(t *testing.T) {
+	q := cq.MustParse("Q(x) :- E(x,y), T(y)")
+	db := mkdb(t,
+		dyndb.Insert("E", 1, 10), dyndb.Insert("E", 1, 11),
+		dyndb.Insert("E", 2, 10), dyndb.Insert("E", 3, 12),
+		dyndb.Insert("T", 10), dyndb.Insert("T", 11), dyndb.Insert("T", 12),
+	)
+	// Each valuation matches the restricted atom to exactly one tuple, so
+	// restricting to a set must equal the sum of pinning to each element.
+	set := [][]Value{{1, 10}, {2, 10}, {3, 12}}
+	got := CountValuationsRestricted(q, db, nil, Restricted{0: set}, nil)
+	want := map[string]int64{}
+	for _, tup := range set {
+		for k, c := range CountValuations(q, db, Pinned{0: tup}, nil) {
+			want[k] += c
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("restricted gave %d head tuples, pinned sum %d", len(got), len(want))
+	}
+	for k, c := range want {
+		if got[k] != c {
+			t.Errorf("head %v: restricted %d, pinned sum %d", tuplekey.Decode(k), got[k], c)
+		}
+	}
+	// Restricting to the full relation is the unrestricted count.
+	full := db.Relation("E").Tuples()
+	gotFull := CountValuationsRestricted(q, db, nil, Restricted{0: full}, nil)
+	wantFull := CountValuations(q, db, nil, nil)
+	if len(gotFull) != len(wantFull) {
+		t.Fatalf("full restriction gave %d head tuples, unrestricted %d", len(gotFull), len(wantFull))
+	}
+	for k, c := range wantFull {
+		if gotFull[k] != c {
+			t.Errorf("head %v: full restriction %d, unrestricted %d", tuplekey.Decode(k), gotFull[k], c)
+		}
+	}
+}
+
+func TestRestrictedSkipsWrongArity(t *testing.T) {
+	q := cq.MustParse("Q(x) :- E(x,y)")
+	db := mkdb(t, dyndb.Insert("E", 1, 2))
+	got := CountValuationsRestricted(q, db, nil, Restricted{0: {{1}, {1, 2}, {1, 2, 3}}}, nil)
+	if len(got) != 1 || got[tuplekey.String([]Value{1})] != 1 {
+		t.Errorf("restricted with mixed arities = %v, want exactly E(1,2)", got)
+	}
+}
+
+func TestRestrictedSelfJoin(t *testing.T) {
+	// Both occurrences of E restricted: only valuations drawing both atoms
+	// from the delta set survive — the N_S terms of the batched delta rule.
+	q := cq.MustParse("Q(x,z) :- E(x,y), E(y,z)")
+	db := mkdb(t,
+		dyndb.Insert("E", 1, 2), dyndb.Insert("E", 2, 3), dyndb.Insert("E", 3, 4),
+	)
+	delta := [][]Value{{1, 2}, {2, 3}}
+	got := CountValuationsRestricted(q, db, nil, Restricted{0: delta, 1: delta}, nil)
+	if len(got) != 1 || got[tuplekey.String([]Value{1, 3})] != 1 {
+		t.Errorf("double restriction = %v, want exactly (1,3)", got)
+	}
+}

@@ -125,11 +125,121 @@ func (m *Maintainer) ApplyAll(updates []dyndb.Update) error {
 	return nil
 }
 
-// Load replays an initial database (the preprocessing phase; cost is that
-// of |D0| incremental updates, i.e. up to Θ(|D0|·n) for hard queries —
-// callers that want linear-time preprocessing should use Reset).
+// ApplyBatch executes a batch of update commands with batched delta
+// processing. The batch is coalesced to its net commands (dyndb.Coalesce)
+// and no-ops against the current state are dropped; the surviving deltas
+// are grouped per relation, and each relation's deletions and insertions
+// are propagated by one inclusion–exclusion delta evaluation per
+// occurrence subset with the subset's atoms restricted to the whole delta
+// set (eval.Restricted) — the residual join against the base relations
+// runs once per batch instead of once per updated tuple. A batch that
+// rewrites a large fraction of the database instead applies all commands
+// and rebuilds the materialised result with a single full evaluation, the
+// static preprocessing path. Returns the number of net commands that
+// changed the database. Arity-against-schema errors are detected before
+// anything is applied, so such a batch is rejected atomically.
+func (m *Maintainer) ApplyBatch(updates []dyndb.Update) (int, error) {
+	type relDelta struct {
+		dels, ins [][]Value
+	}
+	deltas := make(map[string]*relDelta)
+	var order []string
+	applied := 0
+	for _, u := range dyndb.Coalesce(updates) {
+		if want, ok := m.schema[u.Rel]; ok && want != len(u.Tuple) {
+			return 0, fmt.Errorf("ivm: %s has arity %d in query, got tuple of length %d", u.Rel, want, len(u.Tuple))
+		}
+		if (u.Op == dyndb.OpInsert) == m.db.Has(u.Rel, u.Tuple...) {
+			continue // no-op under set semantics
+		}
+		d := deltas[u.Rel]
+		if d == nil {
+			d = &relDelta{}
+			deltas[u.Rel] = d
+			order = append(order, u.Rel)
+		}
+		if u.Op == dyndb.OpInsert {
+			d.ins = append(d.ins, u.Tuple)
+		} else {
+			d.dels = append(d.dels, u.Tuple)
+		}
+		applied++
+	}
+	if applied == 0 {
+		return 0, nil
+	}
+	m.version++
+	// A db-level error (an arity conflict on a relation outside the query
+	// schema, which the upfront check cannot see) can strike after part of
+	// the batch reached the database. Rebuilding the result from the
+	// database restores the maintainer's invariant at full-evaluation
+	// cost — an acceptable price on a path that signals caller error.
+	fail := func(done int, err error) (int, error) {
+		m.result = eval.CountValuations(m.query, m.db, nil, m.idx)
+		return done, err
+	}
+	done := 0
+	// Heuristic crossover: once the net batch is a third or more of the
+	// resulting database, |batch| residual joins cost more than rebuilding
+	// the result from scratch once. In particular a bulk load into an
+	// empty maintainer always takes the rebuild path.
+	if applied*3 >= m.db.Cardinality()+applied {
+		for _, rel := range order {
+			d := deltas[rel]
+			for _, t := range d.dels {
+				if _, err := m.db.Delete(rel, t...); err != nil {
+					return fail(done, err)
+				}
+				m.idx.ApplyUpdate(dyndb.Delete(rel, t...))
+				done++
+			}
+			for _, t := range d.ins {
+				if _, err := m.db.Insert(rel, t...); err != nil {
+					return fail(done, err)
+				}
+				m.idx.ApplyUpdate(dyndb.Insert(rel, t...))
+				done++
+			}
+		}
+		m.result = eval.CountValuations(m.query, m.db, nil, m.idx)
+		return done, nil
+	}
+	for _, rel := range order {
+		d := deltas[rel]
+		occs := m.occ[rel]
+		if len(d.dels) > 0 {
+			// Pre-state deltas: valuations losing at least one deleted tuple.
+			m.applyDeltaSet(occs, d.dels, -1)
+			for _, t := range d.dels {
+				if _, err := m.db.Delete(rel, t...); err != nil {
+					return fail(done, err)
+				}
+				m.idx.ApplyUpdate(dyndb.Delete(rel, t...))
+				done++
+			}
+		}
+		if len(d.ins) > 0 {
+			for _, t := range d.ins {
+				if _, err := m.db.Insert(rel, t...); err != nil {
+					return fail(done, err)
+				}
+				m.idx.ApplyUpdate(dyndb.Insert(rel, t...))
+				done++
+			}
+			// Post-state deltas: valuations using at least one new tuple.
+			m.applyDeltaSet(occs, d.ins, +1)
+		}
+	}
+	return done, nil
+}
+
+// Load replays an initial database as one batch (the preprocessing
+// phase). On an empty maintainer the batch path rebuilds the materialised
+// result with a single full evaluation — linear+join-cost preprocessing,
+// like Reset — instead of |D0| residual-join updates.
 func (m *Maintainer) Load(db *dyndb.Database) error {
-	return m.ApplyAll(db.Updates())
+	_, err := m.ApplyBatch(db.Updates())
+	return err
 }
 
 // Reset replaces the maintained database with db and rebuilds the
@@ -161,6 +271,41 @@ func (m *Maintainer) applyDelta(occs []int, tuple []Value, sign int64) {
 			coef = -sign
 		}
 		for k, c := range eval.CountValuations(m.query, m.db, pinned, m.idx) {
+			nv := m.result[k] + coef*c
+			if nv == 0 {
+				delete(m.result, k)
+			} else {
+				m.result[k] = nv
+			}
+		}
+	}
+}
+
+// applyDeltaSet is the batch analogue of applyDelta: it adds sign × (the
+// number of valuations using at least one of the given tuples in at least
+// one occurrence) to the multiplicities, via inclusion–exclusion over
+// nonempty occurrence subsets with the subset's atoms restricted to the
+// whole tuple set. All tuples must share the delta's direction (all
+// inserted, evaluated post-state, or all deleted, evaluated pre-state).
+func (m *Maintainer) applyDeltaSet(occs []int, tuples [][]Value, sign int64) {
+	if len(occs) == 0 || len(tuples) == 0 {
+		return
+	}
+	n := len(occs)
+	for mask := 1; mask < 1<<uint(n); mask++ {
+		restricted := eval.Restricted{}
+		bits := 0
+		for b := 0; b < n; b++ {
+			if mask&(1<<uint(b)) != 0 {
+				restricted[occs[b]] = tuples
+				bits++
+			}
+		}
+		coef := sign
+		if bits%2 == 0 {
+			coef = -sign
+		}
+		for k, c := range eval.CountValuationsRestricted(m.query, m.db, nil, restricted, m.idx) {
 			nv := m.result[k] + coef*c
 			if nv == 0 {
 				delete(m.result, k)

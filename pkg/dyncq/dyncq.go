@@ -33,6 +33,34 @@ type Value = dyndb.Value
 // Update is a single-tuple update command.
 type Update = dyndb.Update
 
+// Op distinguishes the two update commands.
+type Op = dyndb.Op
+
+// The two update commands.
+const (
+	OpInsert = dyndb.OpInsert
+	OpDelete = dyndb.OpDelete
+)
+
+// Database is a dynamic set-semantics database, the argument of
+// Session.Load. Build one with NewDatabase; internal/dyndb is not
+// importable from outside the module.
+type Database = dyndb.Database
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database { return dyndb.New() }
+
+// Insert returns an insertion command for the given tuple.
+func Insert(rel string, tuple ...Value) Update { return dyndb.Insert(rel, tuple...) }
+
+// Delete returns a deletion command for the given tuple.
+func Delete(rel string, tuple ...Value) Update { return dyndb.Delete(rel, tuple...) }
+
+// Coalesce reduces a batch to its net effect: the last command per
+// (relation, tuple) pair wins. ApplyBatch does this internally; it is
+// exported for callers that want to inspect or persist net batches.
+func Coalesce(updates []Update) []Update { return dyndb.Coalesce(updates) }
+
 // Strategy identifies the maintenance backend serving a session.
 type Strategy int
 
@@ -88,6 +116,8 @@ func ParseStrategy(name string) (Strategy, error) {
 // backend is the uniform interface every strategy implements.
 type backend interface {
 	Apply(dyndb.Update) (bool, error)
+	ApplyBatch([]dyndb.Update) (int, error)
+	Load(*dyndb.Database) error
 	Count() uint64
 	Answer() bool
 	Enumerate(yield func(tuple []Value) bool)
@@ -188,7 +218,9 @@ func (s *Session) Delete(rel string, tuple ...Value) (bool, error) {
 // Apply executes one update command.
 func (s *Session) Apply(u Update) (bool, error) { return s.back.Apply(u) }
 
-// ApplyAll executes a sequence of updates, stopping at the first error.
+// ApplyAll executes a sequence of updates one at a time, stopping at the
+// first error. For bulk work prefer ApplyBatch, which lets the backend
+// coalesce the batch and amortise its maintenance cost.
 func (s *Session) ApplyAll(updates []Update) error {
 	for _, u := range updates {
 		if _, err := s.back.Apply(u); err != nil {
@@ -198,9 +230,47 @@ func (s *Session) ApplyAll(updates []Update) error {
 	return nil
 }
 
-// Load replays an initial database as insertions (the preprocessing
-// phase).
-func (s *Session) Load(db *dyndb.Database) error { return s.ApplyAll(db.Updates()) }
+// ApplyBatch executes a batch of updates through the backend's batch
+// pipeline: the batch is coalesced so insert/delete pairs on the same
+// tuple cancel, and the backend propagates the net delta with per-batch
+// instead of per-update bookkeeping (core touches each affected view node
+// once per net command and bumps its version once; ivm joins each
+// relation's delta set against the base relations once per batch; the
+// recompute strategy only updates the stored database, deferring its one
+// recompute to the next read). Returns the number of net commands that
+// changed the database.
+func (s *Session) ApplyBatch(updates []Update) (int, error) {
+	return s.back.ApplyBatch(updates)
+}
+
+// ApplyBatched splits the updates into chunks of batchSize and applies
+// each through ApplyBatch, returning the total number of net commands
+// that changed the database and stopping at the first error. batchSize
+// <= 0 applies everything as a single batch.
+func (s *Session) ApplyBatched(updates []Update, batchSize int) (int, error) {
+	if batchSize <= 0 {
+		return s.ApplyBatch(updates)
+	}
+	applied := 0
+	for from := 0; from < len(updates); from += batchSize {
+		to := from + batchSize
+		if to > len(updates) {
+			to = len(updates)
+		}
+		n, err := s.ApplyBatch(updates[from:to])
+		applied += n
+		if err != nil {
+			return applied, err
+		}
+	}
+	return applied, nil
+}
+
+// Load performs the preprocessing phase for an initial database through
+// the backend's bulk path: core builds its counters and fit lists in one
+// linear pass, ivm rebuilds its materialised result with a single full
+// evaluation, recompute just adopts the tuples.
+func (s *Session) Load(db *dyndb.Database) error { return s.back.Load(db) }
 
 // Count returns |ϕ(D)|, the number of distinct result tuples.
 func (s *Session) Count() uint64 { return s.back.Count() }

@@ -30,6 +30,49 @@ func (r *recompute) Apply(u dyndb.Update) (bool, error) {
 	return r.db.Apply(u)
 }
 
+// ApplyBatch applies the coalesced net commands to the stored database.
+// No view maintenance happens here at all — the strategy recomputes on
+// read, so a batch costs its database operations plus at most one
+// recompute at the next Count/Answer/Enumerate, however large it is.
+// Arity-against-schema errors reject the batch before any change, as in
+// the other backends.
+func (r *recompute) ApplyBatch(updates []dyndb.Update) (int, error) {
+	net := dyndb.Coalesce(updates)
+	for _, u := range net {
+		if want, ok := r.schema[u.Rel]; ok && want != len(u.Tuple) {
+			return 0, fmt.Errorf("recompute: %s has arity %d in query, got tuple of length %d", u.Rel, want, len(u.Tuple))
+		}
+	}
+	applied := 0
+	for _, u := range net {
+		changed, err := r.db.Apply(u)
+		if err != nil {
+			return applied, err
+		}
+		if changed {
+			applied++
+		}
+	}
+	return applied, nil
+}
+
+// Load adopts the initial database wholesale when the strategy is empty,
+// falling back to replay otherwise. Relations that clash with the query
+// schema's arities are rejected, as on every other path.
+func (r *recompute) Load(db *dyndb.Database) error {
+	for _, rel := range db.Relations() {
+		if want, ok := r.schema[rel]; ok && want != db.Relation(rel).Arity() {
+			return fmt.Errorf("recompute: %s has arity %d in query, %d in the loaded database", rel, want, db.Relation(rel).Arity())
+		}
+	}
+	if r.db.Cardinality() == 0 {
+		r.db = db.Clone()
+		return nil
+	}
+	_, err := r.ApplyBatch(db.Updates())
+	return err
+}
+
 func (r *recompute) Count() uint64 { return uint64(eval.Count(r.q, r.db)) }
 
 func (r *recompute) Answer() bool { return eval.Answer(r.q, r.db) }
