@@ -9,6 +9,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"runtime"
@@ -81,13 +82,18 @@ func loadQuery(text, file string) (*cq.Query, error) {
 	return cq.Parse(text)
 }
 
-func loadStream(path string) ([]dyncq.Update, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return dyncq.ParseStream(f)
+// session is the read/apply surface cmdRun needs; *dyncq.Session and
+// *dyncq.ConcurrentSession both provide it.
+type session interface {
+	Strategy() dyncq.Strategy
+	Schema() map[string]int
+	ApplyBatch([]dyncq.Update) (int, error)
+	Load(*dyncq.Database) error
+	Count() uint64
+	Answer() bool
+	Enumerate(func([]dyncq.Value) bool)
+	Cardinality() int
+	ActiveDomainSize() int
 }
 
 func cmdRun(args []string) error {
@@ -97,7 +103,8 @@ func cmdRun(args []string) error {
 	dataFile := fs.String("data", "", "initial database stream (loaded before the update stream)")
 	updFile := fs.String("updates", "", "update stream to apply")
 	strategyName := fs.String("strategy", "auto", "maintenance strategy: auto, core, ivm or recompute")
-	batch := fs.Int("batch", 0, "apply streams in batches of this many updates (0 = one at a time)")
+	batch := fs.Int("batch", 0, "apply streams in batches of this many updates (0 = one batch per stream)")
+	parallel := fs.Int("parallel", 1, "shard workers per batch (>1 enables the concurrent session; core backend applies shard deltas in parallel)")
 	doCount := fs.Bool("count", false, "print |Q(D)| after the stream")
 	doAnswer := fs.Bool("answer", false, "print whether Q(D) is nonempty")
 	doEnum := fs.Bool("enumerate", false, "print the result tuples")
@@ -113,48 +120,40 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
-	sess, err := dyncq.NewWithOptions(q, dyncq.Options{Force: strategy})
-	if err != nil {
-		return err
-	}
-	fmt.Printf("query:    %s\n", q)
-	fmt.Printf("strategy: %s\n", sess.Strategy())
-	schema := q.Schema()
-	for _, path := range []string{*dataFile, *updFile} {
-		if path == "" {
-			continue
-		}
-		updates, err := loadStream(path)
+	var sess session
+	if *parallel > 1 {
+		cs, err := dyncq.NewConcurrent(q, dyncq.ConcurrentOptions{Force: strategy, Workers: *parallel})
 		if err != nil {
 			return err
 		}
-		unknown := map[string]bool{}
-		for _, u := range updates {
-			if _, ok := schema[u.Rel]; !ok {
-				unknown[u.Rel] = true
-			}
+		sess = cs
+		fmt.Printf("query:    %s\n", q)
+		fmt.Printf("strategy: %s (%d workers, sharded parallel batches: %v)\n",
+			cs.Strategy(), cs.Workers(), cs.Parallel())
+	} else {
+		s, err := dyncq.NewWithOptions(q, dyncq.Options{Force: strategy})
+		if err != nil {
+			return err
 		}
-		if len(unknown) > 0 {
-			names := make([]string, 0, len(unknown))
-			for r := range unknown {
-				names = append(names, r)
-			}
-			sort.Strings(names)
-			fmt.Fprintf(os.Stderr, "warning: %s: relations not in the query (likely a typo): %s\n",
-				path, strings.Join(names, ", "))
+		sess = s
+		fmt.Printf("query:    %s\n", q)
+		fmt.Printf("strategy: %s\n", s.Strategy())
+	}
+	schema := sess.Schema()
+	batchSize := *batch
+	if batchSize <= 0 && *parallel > 1 {
+		// Parallel workers need batches to fan out over; default to a
+		// reasonable chunk instead of silently staying sequential.
+		batchSize = 512
+	}
+	if *dataFile != "" {
+		if err := loadDatabaseFile(sess, schema, *dataFile); err != nil {
+			return err
 		}
-		if *batch > 0 {
-			applied, err := sess.ApplyBatched(updates, *batch)
-			if err != nil {
-				return err
-			}
-			fmt.Printf("applied:  %d updates from %s in batches of %d (%d net changes)\n",
-				len(updates), path, *batch, applied)
-		} else {
-			if err := sess.ApplyAll(updates); err != nil {
-				return err
-			}
-			fmt.Printf("applied:  %d updates from %s\n", len(updates), path)
+	}
+	if *updFile != "" {
+		if err := applyStreamFile(sess, schema, *updFile, batchSize); err != nil {
+			return err
 		}
 	}
 	fmt.Printf("database: %d tuples, active domain %d\n", sess.Cardinality(), sess.ActiveDomainSize())
@@ -172,6 +171,94 @@ func cmdRun(args []string) error {
 			return *limit == 0 || n < *limit
 		})
 		fmt.Printf("enumerated %d tuples\n", n)
+	}
+	return nil
+}
+
+// warnUnknown prints the typo warning for relations outside the query.
+func warnUnknown(path string, unknown map[string]bool) {
+	if len(unknown) == 0 {
+		return
+	}
+	names := make([]string, 0, len(unknown))
+	for r := range unknown {
+		names = append(names, r)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(os.Stderr, "warning: %s: relations not in the query (likely a typo): %s\n",
+		path, strings.Join(names, ", "))
+}
+
+// loadDatabaseFile reads an initial-database stream and feeds it to the
+// session through the bulk Load path (reset-then-load, one counting pass
+// + one weight pass on the core backend) instead of replaying per-tuple
+// updates. The single parse pass checks arities against the query schema
+// with line numbers and collects typo warnings.
+func loadDatabaseFile(sess session, schema map[string]int, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sr := dyncq.NewStreamReader(f)
+	db := dyncq.NewDatabase()
+	unknown := map[string]bool{}
+	total := 0
+	for {
+		u, line, err := sr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if want, ok := schema[u.Rel]; !ok {
+			unknown[u.Rel] = true
+		} else if want != len(u.Tuple) {
+			return fmt.Errorf("%s: line %d: %s has arity %d in the query, got tuple of length %d",
+				path, line, u.Rel, want, len(u.Tuple))
+		}
+		if _, err := db.Apply(u); err != nil {
+			return fmt.Errorf("%s: line %d: %w", path, line, err)
+		}
+		total++
+	}
+	warnUnknown(path, unknown)
+	if err := sess.Load(db); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	fmt.Printf("loaded:   %d commands from %s (bulk load: %d tuples)\n", total, path, db.Cardinality())
+	return nil
+}
+
+// applyStreamFile streams one update file into the session in a single
+// parse pass via dyncq.ApplyStreamFunc: commands are batched through
+// ApplyBatch, arity mismatches against the query schema are reported
+// with the offending line number, and relations outside the query earn
+// a typo warning — spotted on the same pass, not a separate parse.
+func applyStreamFile(sess session, schema map[string]int, path string, batchSize int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	unknown := map[string]bool{}
+	total := 0
+	applied, err := dyncq.ApplyStreamFunc(sess, f, batchSize, func(u dyncq.Update, _ int) {
+		if _, ok := schema[u.Rel]; !ok {
+			unknown[u.Rel] = true
+		}
+		total++
+	})
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	warnUnknown(path, unknown)
+	if batchSize > 0 {
+		fmt.Printf("applied:  %d updates from %s in batches of %d (%d net changes)\n",
+			total, path, batchSize, applied)
+	} else {
+		fmt.Printf("applied:  %d updates from %s (%d net changes)\n", total, path, applied)
 	}
 	return nil
 }
@@ -210,13 +297,14 @@ func cmdBench(args []string) error {
 		return cmdBenchCompare(args[1:])
 	}
 	fs := flag.NewFlagSet("dyncq bench", flag.ExitOnError)
-	out := fs.String("out", "BENCH_PR2.json", "output JSON path")
+	out := fs.String("out", "BENCH_PR3.json", "output JSON path")
 	seed := fs.Int64("seed", 1, "workload RNG seed")
 	n := fs.Int("n", 300, "star and hard-sqet case size (node count / domain); random-qh uses a fixed small domain")
 	streamLen := fs.Int("updates", 2000, "measured update-stream length per case")
 	maxEnum := fs.Int("max-enumerate", 10000, "cap on tuples pulled during delay measurement")
 	strategiesFlag := fs.String("strategies", "core,ivm,recompute", "comma-separated strategies to measure")
 	batchesFlag := fs.String("batches", "64,512", "comma-separated batch sizes for the batch phase (empty = skip)")
+	workersFlag := fs.String("workers", "1,2,4", "comma-separated worker counts for the parallel phase (empty = skip)")
 	sweepFlag := fs.String("sweep", "100,200,400,800", "comma-separated database sizes for the star scaling sweep (empty = skip)")
 	sweepUpdates := fs.Int("sweep-updates", 500, "measured update-stream length per sweep point")
 	repeat := fs.Int("repeat", 3, "repetitions per measurement; the report keeps the best latencies (steadies the regression gate)")
@@ -235,6 +323,10 @@ func cmdBench(args []string) error {
 	if err != nil {
 		return fmt.Errorf("-batches: %w", err)
 	}
+	workerCounts, err := parseIntList(*workersFlag)
+	if err != nil {
+		return fmt.Errorf("-workers: %w", err)
+	}
 	sweepSizes, err := parseIntList(*sweepFlag)
 	if err != nil {
 		return fmt.Errorf("-sweep: %w", err)
@@ -245,6 +337,7 @@ func cmdBench(args []string) error {
 	}
 	for i := range cases {
 		cases[i].Repeat = *repeat
+		cases[i].Workers = workerCounts
 	}
 	rep, err := bench.Run(cases, strategies)
 	if err != nil {
@@ -276,6 +369,14 @@ func cmdBench(args []string) error {
 			for _, b := range s.Batches {
 				fmt.Printf("             batch %5d: %8.0f updates/s over %d batches (%d net)\n",
 					b.BatchSize, b.UpdatesPerSec, b.Batches, b.NetApplied)
+			}
+			for _, p := range s.Parallel {
+				mode := "sequential"
+				if p.Sharded {
+					mode = "sharded"
+				}
+				fmt.Printf("             workers %2d (%s): %8.0f updates/s  speedup %.2fx\n",
+					p.Workers, mode, p.UpdatesPerSec, p.SpeedupVs1)
 			}
 		}
 	}

@@ -43,6 +43,15 @@ type Config struct {
 	// one-sided, so best-of-R is the robust estimator the regression gate
 	// needs). 0 or 1 means a single run.
 	Repeat int
+	// Workers lists the worker counts of the parallel phase: for every
+	// count a fresh ConcurrentSession bulk-loads Initial and applies
+	// Stream through ApplyBatched with that many shard workers, so the
+	// report shows how sharded parallel application scales. Include 1 to
+	// record the locked-but-sequential baseline the speedups are computed
+	// against. Empty = skip.
+	Workers []int
+	// ParallelBatch is the chunk size of the parallel phase (0 = 512).
+	ParallelBatch int
 }
 
 // Percentiles summarises a latency sample in nanoseconds.
@@ -89,6 +98,25 @@ type BatchResult struct {
 	BatchNS       Percentiles `json:"batch_ns"`
 }
 
+// ParallelResult measures one worker count of the parallel phase: the
+// stream applied through ConcurrentSession.ApplyBatched on a fresh,
+// bulk-loaded session with Workers shard workers per batch.
+type ParallelResult struct {
+	Workers   int `json:"workers"`
+	BatchSize int `json:"batch_size"`
+	// Sharded reports whether the parallel path actually engaged
+	// (core backend with >1 worker); false means the run went through the
+	// sequential pipeline under the lock, measuring pure lock overhead.
+	Sharded    bool  `json:"sharded"`
+	NetApplied int   `json:"net_applied"`
+	TotalNS    int64 `json:"total_ns"`
+	// UpdatesPerSec is the aggregate stream-level throughput; SpeedupVs1
+	// is TotalNS(workers=1)/TotalNS for the same case and strategy (0 if
+	// no workers=1 entry was measured).
+	UpdatesPerSec float64 `json:"updates_per_sec"`
+	SpeedupVs1    float64 `json:"speedup_vs_1,omitempty"`
+}
+
 // StrategyResult is the measurement of one strategy on one case.
 type StrategyResult struct {
 	Strategy string `json:"strategy"`
@@ -113,6 +141,8 @@ type StrategyResult struct {
 	DelayNS          Percentiles `json:"delay_ns"`
 	// Batches holds the batch phase, one entry per Config.BatchSizes.
 	Batches []BatchResult `json:"batches,omitempty"`
+	// Parallel holds the parallel phase, one entry per Config.Workers.
+	Parallel []ParallelResult `json:"parallel,omitempty"`
 }
 
 // CaseResult is the full report for one benchmark case.
@@ -215,6 +245,17 @@ func mergeBest(a, b StrategyResult) StrategyResult {
 		}
 		ab.BatchNS = minP(ab.BatchNS, bb.BatchNS)
 	}
+	for i := range a.Parallel {
+		if i >= len(b.Parallel) {
+			break
+		}
+		ap, bp := &a.Parallel[i], b.Parallel[i]
+		ap.TotalNS = minI(ap.TotalNS, bp.TotalNS)
+		if bp.UpdatesPerSec > ap.UpdatesPerSec {
+			ap.UpdatesPerSec = bp.UpdatesPerSec
+		}
+	}
+	fillSpeedups(a.Parallel)
 	return a
 }
 
@@ -290,7 +331,67 @@ func runStrategy(cfg Config, st dyncq.Strategy, initDB *dyndb.Database) (Strateg
 		}
 		sr.Batches = append(sr.Batches, br)
 	}
+
+	// Parallel phase: fresh concurrent session per worker count.
+	for _, workers := range cfg.Workers {
+		if workers < 1 {
+			continue
+		}
+		pr, err := runParallel(cfg, st, initDB, workers)
+		if err != nil {
+			return sr, fmt.Errorf("workers %d: %w", workers, err)
+		}
+		sr.Parallel = append(sr.Parallel, pr)
+	}
+	fillSpeedups(sr.Parallel)
 	return sr, nil
+}
+
+// runParallel measures the stream through a ConcurrentSession with the
+// given worker count (sharded parallel batches on the core backend,
+// locked sequential pipeline elsewhere).
+func runParallel(cfg Config, st dyncq.Strategy, initDB *dyndb.Database, workers int) (ParallelResult, error) {
+	sess, err := dyncq.NewConcurrent(cfg.Query, dyncq.ConcurrentOptions{Force: st, Workers: workers})
+	if err != nil {
+		return ParallelResult{}, err
+	}
+	if err := sess.Load(initDB); err != nil {
+		return ParallelResult{}, err
+	}
+	size := cfg.ParallelBatch
+	if size <= 0 {
+		size = 512
+	}
+	pr := ParallelResult{Workers: workers, BatchSize: size, Sharded: sess.Parallel()}
+	t0 := time.Now()
+	n, err := sess.ApplyBatched(cfg.Stream, size)
+	pr.TotalNS = time.Since(t0).Nanoseconds()
+	pr.NetApplied = n
+	if err != nil {
+		return pr, err
+	}
+	if pr.TotalNS > 0 {
+		pr.UpdatesPerSec = float64(len(cfg.Stream)) / (float64(pr.TotalNS) / 1e9)
+	}
+	return pr, nil
+}
+
+// fillSpeedups recomputes SpeedupVs1 against the workers=1 entry.
+func fillSpeedups(parallel []ParallelResult) {
+	var base int64
+	for _, p := range parallel {
+		if p.Workers == 1 {
+			base = p.TotalNS
+			break
+		}
+	}
+	for i := range parallel {
+		if base > 0 && parallel[i].TotalNS > 0 {
+			parallel[i].SpeedupVs1 = float64(base) / float64(parallel[i].TotalNS)
+		} else {
+			parallel[i].SpeedupVs1 = 0
+		}
+	}
 }
 
 func runBatched(cfg Config, st dyncq.Strategy, initDB *dyndb.Database, size int) (BatchResult, error) {

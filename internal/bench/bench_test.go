@@ -228,3 +228,44 @@ func TestRunSweep(t *testing.T) {
 		}
 	}
 }
+
+// TestRunCaseParallelPhase: the parallel phase records one entry per
+// worker count, engages sharding exactly on the core backend with >1
+// worker, and computes speedups against the workers=1 entry.
+func TestRunCaseParallelPhase(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	q := cq.MustParse("Q(y) :- E(x,y), T(y)")
+	cfg := Config{
+		Name:          "star-parallel",
+		Query:         q,
+		Initial:       workload.StarSchemaStream(rng, 30, 2),
+		Stream:        workload.RandomStream(rng, q.Schema(), 30, 200, 0.3),
+		MaxEnumerate:  50,
+		Workers:       []int{1, 2},
+		ParallelBatch: 64,
+	}
+	res, err := RunCase(cfg, allStrategies())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Strategies {
+		if len(s.Parallel) != 2 {
+			t.Fatalf("%s: %d parallel results, want 2", s.Strategy, len(s.Parallel))
+		}
+		for _, p := range s.Parallel {
+			if p.TotalNS <= 0 || p.UpdatesPerSec <= 0 {
+				t.Errorf("%s workers %d: TotalNS=%d u/s=%f", s.Strategy, p.Workers, p.TotalNS, p.UpdatesPerSec)
+			}
+			wantSharded := s.Strategy == "core" && p.Workers > 1
+			if p.Sharded != wantSharded {
+				t.Errorf("%s workers %d: sharded=%v, want %v", s.Strategy, p.Workers, p.Sharded, wantSharded)
+			}
+			if p.NetApplied <= 0 {
+				t.Errorf("%s workers %d: net applied %d", s.Strategy, p.Workers, p.NetApplied)
+			}
+		}
+		if s.Parallel[0].SpeedupVs1 == 0 || s.Parallel[1].SpeedupVs1 == 0 {
+			t.Errorf("%s: speedups not filled: %+v", s.Strategy, s.Parallel)
+		}
+	}
+}

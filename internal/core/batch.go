@@ -34,7 +34,7 @@ func (e *Engine) ApplyBatch(updates []dyndb.Update) (applied int, err error) {
 	net := dyndb.Coalesce(updates)
 	for _, u := range net {
 		if want, ok := e.schema[u.Rel]; ok && want != len(u.Tuple) {
-			return 0, fmt.Errorf("core: %s has arity %d in query, got tuple of length %d", u.Rel, want, len(u.Tuple))
+			return 0, arityErr(u.Rel, want, len(u.Tuple))
 		}
 	}
 	for _, u := range net {
@@ -100,8 +100,10 @@ func (e *Engine) loadBulk(db *dyndb.Database) error {
 	}
 	var scratch []listEntry
 	for _, c := range e.comps {
-		e.buildWeights(c)
-		scratch = sortLists(c, scratch)
+		for si := range c.shards {
+			e.buildWeights(c, &c.shards[si])
+			scratch = sortLists(c, &c.shards[si], scratch)
+		}
 	}
 	e.version++
 	return nil
@@ -124,10 +126,11 @@ func (e *Engine) countAtom(ref atomRef, tuple []Value) {
 	for j := 0; j < d; j++ {
 		vals[j] = tuple[a.extract[j]]
 	}
+	sh := &c.shards[e.shardOf(vals[0])]
 	var parent *item
 	for j := 0; j < d; j++ {
 		nodeIdx := a.pathNodes[j]
-		m := c.index[nodeIdx]
+		m := sh.index[nodeIdx]
 		it, ok := m.Get(vals[: j+1 : j+1])
 		if !ok {
 			it = newItem(&c.nodes[nodeIdx], vals[:j+1], parent)
@@ -139,15 +142,16 @@ func (e *Engine) countAtom(ref atomRef, tuple []Value) {
 }
 
 // buildWeights runs the deferred bottom-up pass of loadBulk for one
-// component. Nodes are stored in document order (pre-order), so reverse
-// index order visits every child before its parent and each item's child
-// sums are complete when its own weight is computed. Fit items are
-// prepended to their list's head as an unordered chain; sortLists turns
-// the chains into properly ordered doubly linked lists afterwards.
-func (e *Engine) buildWeights(c *comp) {
+// shard of one component. Nodes are stored in document order (pre-order),
+// so reverse index order visits every child before its parent and each
+// item's child sums are complete when its own weight is computed (parents
+// and children always share a shard). Fit items are prepended to their
+// list's head as an unordered chain; sortLists turns the chains into
+// properly ordered doubly linked lists afterwards.
+func (e *Engine) buildWeights(c *comp, sh *compShard) {
 	for ni := len(c.nodes) - 1; ni >= 0; ni-- {
 		nd := &c.nodes[ni]
-		m := c.index[ni]
+		m := sh.index[ni]
 		if m.Len() == 0 {
 			continue
 		}
@@ -179,11 +183,11 @@ func (e *Engine) buildWeights(c *comp) {
 				return true
 			}
 			if ni == 0 {
-				it.next = c.startHead
-				c.startHead = it
-				c.cStart += w
+				it.next = sh.startHead
+				sh.startHead = it
+				sh.cStart += w
 				if nd.free {
-					c.cfStart += f
+					sh.cfStart += f
 				}
 			} else {
 				p := it.parent
@@ -213,8 +217,11 @@ type listEntry struct {
 // share their key prefix, so per-list order by last element is exactly
 // the lexicographic order a sorted single-tuple replay produces — but
 // sorting per list costs Σ k·log k over the (typically small) list sizes
-// instead of one comparison-heavy sort over all items of a node.
-func sortLists(c *comp, scratch []listEntry) []listEntry {
+// instead of one comparison-heavy sort over all items of a node. (With
+// more than one shard the root list is sorted per shard, so enumeration
+// is lexicographic within each shard; the fully canonical global order is
+// a property of the unsharded engine.)
+func sortLists(c *comp, sh *compShard, scratch []listEntry) []listEntry {
 	fix := func(head, tail **item) {
 		if *head == nil || (*head).next == nil {
 			if *head != nil {
@@ -250,12 +257,12 @@ func sortLists(c *comp, scratch []listEntry) []listEntry {
 		prev.next = nil
 		*tail = prev
 	}
-	fix(&c.startHead, &c.startTail)
+	fix(&sh.startHead, &sh.startTail)
 	for ni := range c.nodes {
 		if len(c.nodes[ni].children) == 0 {
 			continue
 		}
-		c.index[ni].Range(func(_ []Value, it *item) bool {
+		sh.index[ni].Range(func(_ []Value, it *item) bool {
 			for sl := range it.childHead {
 				fix(&it.childHead[sl], &it.childTail[sl])
 			}

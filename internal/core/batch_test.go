@@ -279,30 +279,47 @@ func TestBulkLoadThenUpdates(t *testing.T) {
 		t.Errorf("count=%d answer=%v after draining", e.Count(), e.Answer())
 	}
 	for _, c := range e.comps {
-		for ni, m := range c.index {
-			if m.Len() != 0 {
-				t.Errorf("node %s still has %d items after draining", c.nodes[ni].name, m.Len())
+		for si := range c.shards {
+			for ni, m := range c.shards[si].index {
+				if m.Len() != 0 {
+					t.Errorf("node %s still has %d items after draining", c.nodes[ni].name, m.Len())
+				}
 			}
 		}
 	}
 }
 
-// TestBulkLoadNonEmptyEngineFallsBack: loading into a non-empty engine
-// must keep replay semantics (add the tuples, don't rebuild).
-func TestBulkLoadNonEmptyEngineFallsBack(t *testing.T) {
+// TestLoadResetsNonEmptyEngine: Load follows the uniform reset-then-load
+// contract — after Load the engine represents exactly the loaded
+// database, discarding whatever the session held before.
+func TestLoadResetsNonEmptyEngine(t *testing.T) {
 	e := mustEngine(t, "Q(y) :- E(x,y), T(y)")
 	if _, err := e.Insert("E", 1, 2); err != nil {
 		t.Fatal(err)
 	}
 	db := dyndb.New()
-	db.Insert("T", 2)
+	db.Insert("E", 7, 8)
+	db.Insert("T", 8)
 	if err := e.Load(db); err != nil {
 		t.Fatal(err)
 	}
 	if e.Count() != 1 {
-		t.Errorf("count = %d after loading T into a non-empty engine, want 1", e.Count())
+		t.Errorf("count = %d after Load, want 1 (only the loaded E(7,8),T(8))", e.Count())
+	}
+	if e.Has("E", 1, 2) {
+		t.Error("pre-Load tuple E(1,2) survived a Load (want reset-then-load)")
+	}
+	if e.Cardinality() != 2 {
+		t.Errorf("|D| = %d after Load, want 2", e.Cardinality())
 	}
 	if err := e.checkInvariants(); err != nil {
 		t.Error(err)
+	}
+	// The structure must stay fully functional after the reset.
+	if _, err := e.Delete("T", 8); err != nil {
+		t.Fatal(err)
+	}
+	if e.Count() != 0 || e.Answer() {
+		t.Errorf("count=%d answer=%v after deleting T(8)", e.Count(), e.Answer())
 	}
 }

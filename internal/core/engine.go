@@ -106,7 +106,8 @@ type catom struct {
 }
 
 // comp is the per-connected-component structure: compiled tree and atoms
-// plus the dynamic state (item indexes, start list, C_start, C̃_start).
+// plus the dynamic state, split into shards by the root value (see
+// compShard).
 type comp struct {
 	nodes     []cnode
 	atoms     []catom
@@ -118,11 +119,35 @@ type comp struct {
 	// keeps parents before children).
 	freeNodes []int32
 
+	// shards partitions the dynamic state by hash of the root value: an
+	// item [v, α, a] lives in the shard of α's first (root) constant, and
+	// all its descendants share that constant, so every parent/child
+	// pointer and every fit list stays inside one shard. With a single
+	// shard (the default) this is exactly the paper's layout; with more,
+	// updates whose root values hash to different shards touch disjoint
+	// state and can be applied by parallel workers (ApplyBatchParallel).
+	shards []compShard
+}
+
+// compShard is one shard of a component's dynamic state: the per-node
+// item indexes (the "arrays A_v", restricted to root values hashing
+// here), this shard's slice of the start list, and its contribution to
+// C_start/C̃_start (summed across shards by Count/Answer).
+type compShard struct {
 	index     []*tuplekey.Map[*item] // per node: the "array A_v"
 	startHead *item
 	startTail *item
-	cStart    uint64 // Σ C^i over fit root items
+	cStart    uint64 // Σ C^i over fit root items of this shard
 	cfStart   uint64 // Σ C̃^i over fit root items (root free only)
+}
+
+// totals sums C_start and C̃_start across the component's shards.
+func (c *comp) totals() (cStart, cfStart uint64) {
+	for si := range c.shards {
+		cStart += c.shards[si].cStart
+		cfStart += c.shards[si].cfStart
+	}
+	return cStart, cfStart
 }
 
 type atomRef struct {
@@ -139,7 +164,8 @@ type headLoc struct {
 }
 
 // Engine maintains ϕ(D) for one q-hierarchical query ϕ under updates.
-// An Engine is not safe for concurrent use.
+// An Engine is not safe for concurrent use; wrap it in a
+// pkg/dyncq.ConcurrentSession for a locked front door.
 type Engine struct {
 	query   *cq.Query
 	db      *dyndb.Database
@@ -150,24 +176,50 @@ type Engine struct {
 	freeIdx []int // component → index among free components, -1 if Boolean
 	version uint64
 
+	// shardCount is the number of compShards per component (a power of
+	// two); shardMask is shardCount-1, zero for the unsharded default.
+	shardCount int
+	shardMask  uint64
+	// maxDepth is the longest atom root path, the scratch buffer size.
+	maxDepth int
+
 	// scratch buffers for the update path (avoid per-update allocation).
 	scratchVals  []Value
 	scratchItems []*item
 }
 
-// New compiles the query and returns an engine representing the empty
-// database. It fails with an error wrapping ErrNotQHierarchical if the
-// query is not q-hierarchical, and with a validation error for malformed
-// queries. Compilation is poly(ϕ): it never touches data.
-func New(q *cq.Query) (*Engine, error) {
+// New compiles the query and returns an unsharded engine representing
+// the empty database — the paper's exact layout, with the canonical
+// enumeration order. It fails with an error wrapping ErrNotQHierarchical
+// if the query is not q-hierarchical, and with a validation error for
+// malformed queries. Compilation is poly(ϕ): it never touches data.
+func New(q *cq.Query) (*Engine, error) { return NewSharded(q, 1) }
+
+// NewSharded compiles the query into an engine whose per-component
+// dynamic state is split into the given number of shards (rounded up to
+// a power of two) by root-value hash. Sharding is what makes
+// ApplyBatchParallel able to run shard-disjoint update procedures on
+// worker goroutines; its price is that the enumeration order interleaves
+// per shard instead of following the single canonical list (still
+// deterministic for a fixed shard count). shards < 1 is an error.
+func NewSharded(q *cq.Query, shards int) (*Engine, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("core.NewSharded: shards %d < 1", shards)
+	}
+	pow := 1
+	for pow < shards {
+		pow *= 2
+	}
 	if err := q.Validate(); err != nil {
 		return nil, fmt.Errorf("core.New: %w", err)
 	}
 	e := &Engine{
-		query:  q,
-		db:     dyndb.New(),
-		rels:   make(map[string][]atomRef),
-		schema: q.Schema(),
+		query:      q,
+		db:         dyndb.New(),
+		rels:       make(map[string][]atomRef),
+		schema:     q.Schema(),
+		shardCount: pow,
+		shardMask:  uint64(pow - 1),
 	}
 	subs := q.Components()
 	maxDepth := 0
@@ -176,7 +228,7 @@ func New(q *cq.Query) (*Engine, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core.New: %w", err)
 		}
-		c, err := compileComp(sub, tree)
+		c, err := compileComp(sub, tree, e.shardCount)
 		if err != nil {
 			return nil, fmt.Errorf("core.New: %w", err)
 		}
@@ -206,9 +258,27 @@ func New(q *cq.Query) (*Engine, error) {
 			e.freeIdx[ci] = -1
 		}
 	}
+	e.maxDepth = maxDepth
 	e.scratchVals = make([]Value, maxDepth)
 	e.scratchItems = make([]*item, maxDepth)
 	return e, nil
+}
+
+// Shards returns the number of shards per component (1 for New).
+func (e *Engine) Shards() int { return e.shardCount }
+
+// shardOf maps a component-root value to its shard index. The value is
+// diffused with a splitmix64-style finaliser so consecutive constants
+// (the common case in generated workloads) spread across shards.
+func (e *Engine) shardOf(v Value) uint64 {
+	if e.shardMask == 0 {
+		return 0
+	}
+	z := uint64(v) + 0x9e3779b97f4a7c15
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	return z & e.shardMask
 }
 
 func (e *Engine) locate(v string) (headLoc, bool) {
@@ -223,13 +293,13 @@ func (e *Engine) locate(v string) (headLoc, bool) {
 }
 
 // compileComp builds the static structures for one connected component.
-func compileComp(sub *cq.Query, tree *qtree.Tree) (*comp, error) {
+func compileComp(sub *cq.Query, tree *qtree.Tree, shards int) (*comp, error) {
 	n := len(tree.Nodes)
 	c := &comp{
 		nodes:     make([]cnode, n),
 		freeCount: tree.FreeCount,
 		hasFree:   tree.FreeCount > 0,
-		index:     make([]*tuplekey.Map[*item], n),
+		shards:    make([]compShard, shards),
 	}
 	for i, tn := range tree.Nodes {
 		nd := &c.nodes[i]
@@ -243,7 +313,12 @@ func compileComp(sub *cq.Query, tree *qtree.Tree) (*comp, error) {
 				nd.freeChildCount++
 			}
 		}
-		c.index[i] = tuplekey.NewMap[*item](0)
+	}
+	for si := range c.shards {
+		c.shards[si].index = make([]*tuplekey.Map[*item], n)
+		for i := 0; i < n; i++ {
+			c.shards[si].index[i] = tuplekey.NewMap[*item](0)
+		}
 	}
 	for i := range c.nodes {
 		for sl, ch := range c.nodes[i].children {
@@ -306,6 +381,11 @@ func compileComp(sub *cq.Query, tree *qtree.Tree) (*comp, error) {
 	return c, nil
 }
 
+// arityErr is the uniform update-vs-query arity mismatch error.
+func arityErr(rel string, want, got int) error {
+	return fmt.Errorf("core: %s has arity %d in query, got tuple of length %d", rel, want, got)
+}
+
 // Query returns the compiled query.
 func (e *Engine) Query() *cq.Query { return e.query }
 
@@ -338,7 +418,7 @@ func (e *Engine) Delete(rel string, tuple ...Value) (bool, error) {
 // the stored database. Outstanding iterators are invalidated.
 func (e *Engine) Apply(u dyndb.Update) (bool, error) {
 	if want, ok := e.schema[u.Rel]; ok && want != len(u.Tuple) {
-		return false, fmt.Errorf("core: %s has arity %d in query, got tuple of length %d", u.Rel, want, len(u.Tuple))
+		return false, arityErr(u.Rel, want, len(u.Tuple))
 	}
 	changed, err := e.db.Apply(u)
 	if err != nil || !changed {
@@ -362,45 +442,84 @@ func (e *Engine) ApplyAll(updates []dyndb.Update) error {
 	return nil
 }
 
-// Load performs the preprocessing phase for an initial database D0. On an
-// empty engine it runs the bulk build of batch.go: one linear counting
-// pass over D0 followed by a single bottom-up weight pass, instead of
-// |D0| full single-tuple update procedures. A non-empty engine falls back
-// to replaying D0's tuples as insertions. Both paths are linear in |D0|
-// (Section 6.4); the bulk path just pays the bottom-up propagation once
-// per item instead of once per tuple.
+// Load performs the preprocessing phase for an initial database D0 with
+// reset-then-load semantics: after Load the engine represents exactly D0,
+// regardless of any updates applied before — the uniform contract across
+// all maintenance strategies (see pkg/dyncq.Session.Load). The build is
+// the bulk path of batch.go: one linear counting pass over D0 followed by
+// a single bottom-up weight pass, instead of |D0| full single-tuple
+// update procedures (both are linear in |D0| per Section 6.4; the bulk
+// path pays the bottom-up propagation once per item instead of once per
+// tuple).
+//
+// The reset is unconditional — even drained-but-declared relations from
+// before the Load are forgotten, so a relation outside the query schema
+// cannot leave a stale arity registration behind. A failed Load (arity
+// clash between D0 and the query schema) leaves the engine representing
+// the EMPTY database, not the half-built one. Either way the version
+// advances, so outstanding iterators are always invalidated.
 func (e *Engine) Load(db *dyndb.Database) error {
-	if e.db.Cardinality() != 0 {
-		return e.ApplyAll(db.Updates())
+	e.reset()
+	if err := e.loadBulk(db); err != nil {
+		e.reset()
+		e.version++
+		return err
 	}
-	return e.loadBulk(db)
+	return nil
 }
 
-// updateAtom is the per-atom part of the Section 6.4 update procedure: if
-// the tuple matches the atom's repeated-variable pattern, walk the atom's
-// root path top-down adjusting C^i_ψ (creating items on insert), then
-// bottom-up recompute C^i and C̃^i by Lemmas 6.3/6.4, fix fit-list
-// membership, propagate the sums, and drop items whose counters all
-// reached zero.
+// reset discards all dynamic state (database, items, lists, counters),
+// returning the engine to the empty-database representation. The version
+// counter is preserved (loadBulk bumps it), keeping iterator invalidation
+// monotonic.
+func (e *Engine) reset() {
+	e.db = dyndb.New()
+	for _, c := range e.comps {
+		for si := range c.shards {
+			sh := &c.shards[si]
+			for ni := range sh.index {
+				sh.index[ni] = tuplekey.NewMap[*item](0)
+			}
+			sh.startHead, sh.startTail = nil, nil
+			sh.cStart, sh.cfStart = 0, 0
+		}
+	}
+}
+
+// updateAtom is the per-atom part of the Section 6.4 update procedure,
+// run with the engine's own scratch buffers (the sequential path).
 func (e *Engine) updateAtom(ref atomRef, tuple []Value, insert bool) {
 	c := e.comps[ref.comp]
-	a := &c.atoms[ref.atom]
+	e.updateAtomScratch(c, &c.atoms[ref.atom], tuple, insert, e.scratchVals, e.scratchItems)
+}
+
+// updateAtomScratch is the per-atom update procedure proper: if the tuple
+// matches the atom's repeated-variable pattern, walk the atom's root path
+// top-down adjusting C^i_ψ (creating items on insert), then bottom-up
+// recompute C^i and C̃^i by Lemmas 6.3/6.4, fix fit-list membership,
+// propagate the sums, and drop items whose counters all reached zero.
+// Every touched map, item and list belongs to the shard of the root value
+// vals[0], so calls whose root values hash to different shards are
+// mutually independent — the property ApplyBatchParallel exploits. The
+// caller supplies the scratch buffers (parallel workers have their own).
+func (e *Engine) updateAtomScratch(c *comp, a *catom, tuple []Value, insert bool, scratchVals []Value, scratchItems []*item) {
 	for _, eq := range a.eqChecks {
 		if tuple[eq[0]] != tuple[eq[1]] {
 			return // tuple does not match the atom's variable pattern
 		}
 	}
 	d := len(a.pathNodes)
-	vals := e.scratchVals[:d]
-	items := e.scratchItems[:d]
+	vals := scratchVals[:d]
+	items := scratchItems[:d]
 	for j := 0; j < d; j++ {
 		vals[j] = tuple[a.extract[j]]
 	}
+	sh := &c.shards[e.shardOf(vals[0])]
 
 	// Top-down: fetch or create the items on the path, adjust C^i_ψ.
 	for j := 0; j < d; j++ {
 		nodeIdx := a.pathNodes[j]
-		m := c.index[nodeIdx]
+		m := sh.index[nodeIdx]
 		it, ok := m.Get(vals[: j+1 : j+1])
 		if !ok {
 			if !insert {
@@ -459,9 +578,9 @@ func (e *Engine) updateAtom(ref atomRef, tuple []Value, insert bool) {
 		it.weight, it.fweight = w, f
 
 		if j == 0 {
-			c.cStart = c.cStart - oldW + w
+			sh.cStart = sh.cStart - oldW + w
 			if nd.free {
-				c.cfStart = c.cfStart - oldF + f
+				sh.cfStart = sh.cfStart - oldF + f
 			}
 		} else {
 			p := items[j-1]
@@ -474,9 +593,9 @@ func (e *Engine) updateAtom(ref atomRef, tuple []Value, insert bool) {
 
 		// Fit-list membership: L lists contain exactly the fit items.
 		if w > 0 && !it.inList {
-			e.link(c, nd, it)
+			link(sh, nd, it)
 		} else if w == 0 && it.inList {
-			e.unlink(c, nd, it)
+			unlink(sh, nd, it)
 		}
 
 		// Invariant (a): drop the item once no atom supports it.
@@ -489,7 +608,7 @@ func (e *Engine) updateAtom(ref atomRef, tuple []Value, insert bool) {
 				}
 			}
 			if all0 {
-				c.index[nodeIdx].Delete(it.key)
+				sh.index[nodeIdx].Delete(it.key)
 			}
 		}
 	}
@@ -513,18 +632,18 @@ func newItem(nd *cnode, vals []Value, parent *item) *item {
 }
 
 // listOf returns the head and tail pointers of the list it belongs to:
-// the parent's child list for nd, or the component's start list for root
+// the parent's child list for nd, or the shard's start list for root
 // items.
-func listOf(c *comp, nd *cnode, it *item) (head, tail **item) {
+func listOf(sh *compShard, nd *cnode, it *item) (head, tail **item) {
 	if it.parent == nil {
-		return &c.startHead, &c.startTail
+		return &sh.startHead, &sh.startTail
 	}
 	return &it.parent.childHead[nd.slotInParent], &it.parent.childTail[nd.slotInParent]
 }
 
 // link appends it to the tail of its list.
-func (e *Engine) link(c *comp, nd *cnode, it *item) {
-	head, tail := listOf(c, nd, it)
+func link(sh *compShard, nd *cnode, it *item) {
+	head, tail := listOf(sh, nd, it)
 	it.next = nil
 	it.prev = *tail
 	if *tail != nil {
@@ -537,8 +656,8 @@ func (e *Engine) link(c *comp, nd *cnode, it *item) {
 }
 
 // unlink removes it from its list.
-func (e *Engine) unlink(c *comp, nd *cnode, it *item) {
-	head, tail := listOf(c, nd, it)
+func unlink(sh *compShard, nd *cnode, it *item) {
+	head, tail := listOf(sh, nd, it)
 	if it.prev != nil {
 		it.prev.next = it.next
 	} else {
@@ -564,9 +683,10 @@ func (e *Engine) unlink(c *comp, nd *cnode, it *item) {
 func (e *Engine) Count() uint64 {
 	total := uint64(1)
 	for _, c := range e.comps {
+		cStart, cfStart := c.totals()
 		if c.hasFree {
-			total *= c.cfStart
-		} else if c.cStart == 0 {
+			total *= cfStart
+		} else if cStart == 0 {
 			return 0
 		}
 		if total == 0 {
@@ -576,10 +696,11 @@ func (e *Engine) Count() uint64 {
 	return total
 }
 
-// Answer reports whether ϕ(D) is nonempty, in constant time.
+// Answer reports whether ϕ(D) is nonempty, in constant time (the shard
+// count is a configuration constant, not data).
 func (e *Engine) Answer() bool {
 	for _, c := range e.comps {
-		if c.cStart == 0 {
+		if cStart, _ := c.totals(); cStart == 0 {
 			return false
 		}
 	}
@@ -595,73 +716,81 @@ func (e *Engine) checkInvariants() error {
 		// involved; instead check local consistency: list sums match member
 		// weights, weights match Lemma 6.3, membership matches fitness.
 		var errOut error
-		for ni := range c.nodes {
-			nd := &c.nodes[ni]
-			c.index[ni].Range(func(key []Value, it *item) bool {
-				// weight per Lemma 6.3
-				w := uint64(1)
-				for _, s := range nd.repSlots {
-					if it.counts[s] == 0 {
-						w = 0
-					}
-				}
-				if w != 0 {
-					for sl := range nd.children {
-						w *= it.childSum[sl]
-					}
-				}
-				if w != it.weight {
-					errOut = fmt.Errorf("comp %d node %s item %v: weight %d, recomputed %d", ci, nd.name, key, it.weight, w)
-					return false
-				}
-				if (it.weight > 0) != it.inList {
-					errOut = fmt.Errorf("comp %d node %s item %v: fit=%v inList=%v", ci, nd.name, key, it.weight > 0, it.inList)
-					return false
-				}
-				all0 := true
-				for _, cnt := range it.counts {
-					if cnt != 0 {
-						all0 = false
-					}
-				}
-				if all0 {
-					errOut = fmt.Errorf("comp %d node %s item %v: present with all-zero counts", ci, nd.name, key)
-					return false
-				}
-				// child list sums
-				for sl, chIdx := range nd.children {
-					var sum, fsum uint64
-					for ch := it.childHead[sl]; ch != nil; ch = ch.next {
-						sum += ch.weight
-						fsum += ch.fweight
-					}
-					if sum != it.childSum[sl] {
-						errOut = fmt.Errorf("comp %d node %s item %v child %s: childSum %d, actual %d",
-							ci, nd.name, key, c.nodes[chIdx].name, it.childSum[sl], sum)
+		for si := range c.shards {
+			sh := &c.shards[si]
+			for ni := range c.nodes {
+				nd := &c.nodes[ni]
+				sh.index[ni].Range(func(key []Value, it *item) bool {
+					// Shard assignment: every item hashes here by root value.
+					if got := e.shardOf(key[0]); got != uint64(si) {
+						errOut = fmt.Errorf("comp %d node %s item %v: stored in shard %d, hashes to %d", ci, nd.name, key, si, got)
 						return false
 					}
-					if int32(sl) < nd.freeChildCount && nd.free && fsum != it.fchildSum[sl] {
-						errOut = fmt.Errorf("comp %d node %s item %v child %s: fchildSum %d, actual %d",
-							ci, nd.name, key, c.nodes[chIdx].name, it.fchildSum[sl], fsum)
+					// weight per Lemma 6.3
+					w := uint64(1)
+					for _, s := range nd.repSlots {
+						if it.counts[s] == 0 {
+							w = 0
+						}
+					}
+					if w != 0 {
+						for sl := range nd.children {
+							w *= it.childSum[sl]
+						}
+					}
+					if w != it.weight {
+						errOut = fmt.Errorf("comp %d node %s item %v: weight %d, recomputed %d", ci, nd.name, key, it.weight, w)
 						return false
 					}
+					if (it.weight > 0) != it.inList {
+						errOut = fmt.Errorf("comp %d node %s item %v: fit=%v inList=%v", ci, nd.name, key, it.weight > 0, it.inList)
+						return false
+					}
+					all0 := true
+					for _, cnt := range it.counts {
+						if cnt != 0 {
+							all0 = false
+						}
+					}
+					if all0 {
+						errOut = fmt.Errorf("comp %d node %s item %v: present with all-zero counts", ci, nd.name, key)
+						return false
+					}
+					// child list sums
+					for sl, chIdx := range nd.children {
+						var sum, fsum uint64
+						for ch := it.childHead[sl]; ch != nil; ch = ch.next {
+							sum += ch.weight
+							fsum += ch.fweight
+						}
+						if sum != it.childSum[sl] {
+							errOut = fmt.Errorf("comp %d node %s item %v child %s: childSum %d, actual %d",
+								ci, nd.name, key, c.nodes[chIdx].name, it.childSum[sl], sum)
+							return false
+						}
+						if int32(sl) < nd.freeChildCount && nd.free && fsum != it.fchildSum[sl] {
+							errOut = fmt.Errorf("comp %d node %s item %v child %s: fchildSum %d, actual %d",
+								ci, nd.name, key, c.nodes[chIdx].name, it.fchildSum[sl], fsum)
+							return false
+						}
+					}
+					return true
+				})
+				if errOut != nil {
+					return errOut
 				}
-				return true
-			})
-			if errOut != nil {
-				return errOut
 			}
-		}
-		var sum, fsum uint64
-		for it := c.startHead; it != nil; it = it.next {
-			sum += it.weight
-			fsum += it.fweight
-		}
-		if sum != c.cStart {
-			return fmt.Errorf("comp %d: cStart %d, actual %d", ci, c.cStart, sum)
-		}
-		if c.hasFree && fsum != c.cfStart {
-			return fmt.Errorf("comp %d: cfStart %d, actual %d", ci, c.cfStart, fsum)
+			var sum, fsum uint64
+			for it := sh.startHead; it != nil; it = it.next {
+				sum += it.weight
+				fsum += it.fweight
+			}
+			if sum != sh.cStart {
+				return fmt.Errorf("comp %d shard %d: cStart %d, actual %d", ci, si, sh.cStart, sum)
+			}
+			if c.hasFree && fsum != sh.cfStart {
+				return fmt.Errorf("comp %d shard %d: cfStart %d, actual %d", ci, si, sh.cfStart, fsum)
+			}
 		}
 	}
 	return nil

@@ -445,16 +445,19 @@ func TestDrainToEmpty(t *testing.T) {
 		t.Errorf("count=%d answer=%v after draining", e.Count(), e.Answer())
 	}
 	for _, c := range e.comps {
-		for ni, m := range c.index {
-			if m.Len() != 0 {
-				t.Errorf("node %s still has %d items after draining", c.nodes[ni].name, m.Len())
+		for si := range c.shards {
+			sh := &c.shards[si]
+			for ni, m := range sh.index {
+				if m.Len() != 0 {
+					t.Errorf("node %s still has %d items after draining", c.nodes[ni].name, m.Len())
+				}
 			}
-		}
-		if c.startHead != nil || c.startTail != nil {
-			t.Error("start list not empty after draining")
-		}
-		if c.cStart != 0 || c.cfStart != 0 {
-			t.Errorf("cStart=%d cfStart=%d after draining", c.cStart, c.cfStart)
+			if sh.startHead != nil || sh.startTail != nil {
+				t.Error("start list not empty after draining")
+			}
+			if sh.cStart != 0 || sh.cfStart != 0 {
+				t.Errorf("cStart=%d cfStart=%d after draining", sh.cStart, sh.cfStart)
+			}
 		}
 	}
 }

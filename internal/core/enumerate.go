@@ -13,11 +13,15 @@ import "fmt"
 // Every step costs O(k) for a k-ary query: the delay is independent of
 // the database, as Theorem 3.2(a) requires.
 
-// compIter enumerates the result tuples of one component.
+// compIter enumerates the result tuples of one component. The root state
+// walks the shards' start lists in shard order (one list, the canonical
+// order, on an unsharded engine); all deeper states follow child lists,
+// which never cross shards.
 type compIter struct {
-	c    *comp
-	cur  []*item // per free node (document order)
-	done bool
+	c         *comp
+	cur       []*item // per free node (document order)
+	rootShard int     // shard whose start list cur[0] currently walks
+	done      bool
 }
 
 func newCompIter(c *comp) *compIter {
@@ -27,14 +31,17 @@ func newCompIter(c *comp) *compIter {
 // reset positions the iterator on the first result tuple (Algorithm 1,
 // lines 4–9). It reports false if the component's result is empty.
 func (ci *compIter) reset() bool {
-	if ci.c.startHead == nil {
-		ci.done = true
-		return false
+	for si := range ci.c.shards {
+		if head := ci.c.shards[si].startHead; head != nil {
+			ci.done = false
+			ci.rootShard = si
+			ci.cur[0] = head
+			ci.fill(1)
+			return true
+		}
 	}
-	ci.done = false
-	ci.cur[0] = ci.c.startHead
-	ci.fill(1)
-	return true
+	ci.done = true
+	return false
 }
 
 // fill sets states from (inclusive) onward to the first elements of
@@ -60,20 +67,30 @@ func (ci *compIter) next() bool {
 	if ci.done {
 		return false
 	}
-	j := -1
-	for mu := len(ci.c.freeNodes) - 1; mu >= 0; mu-- {
+	for mu := len(ci.c.freeNodes) - 1; mu >= 1; mu-- {
 		if ci.cur[mu].next != nil {
-			j = mu
-			break
+			ci.cur[mu] = ci.cur[mu].next
+			ci.fill(mu + 1)
+			return true
 		}
 	}
-	if j < 0 {
-		ci.done = true
-		return false
+	// Advance the root state: within its shard's start list first, then on
+	// to the next shard with a nonempty list.
+	if nxt := ci.cur[0].next; nxt != nil {
+		ci.cur[0] = nxt
+		ci.fill(1)
+		return true
 	}
-	ci.cur[j] = ci.cur[j].next
-	ci.fill(j + 1)
-	return true
+	for si := ci.rootShard + 1; si < len(ci.c.shards); si++ {
+		if head := ci.c.shards[si].startHead; head != nil {
+			ci.rootShard = si
+			ci.cur[0] = head
+			ci.fill(1)
+			return true
+		}
+	}
+	ci.done = true
+	return false
 }
 
 // Iterator enumerates ϕ(D) without repetition. It is created by
@@ -126,7 +143,7 @@ func (it *Iterator) Next() (tuple []Value, ok bool) {
 		it.state = iterActive
 		// Boolean components gate the whole product.
 		for _, c := range it.e.comps {
-			if c.cStart == 0 {
+			if cStart, _ := c.totals(); cStart == 0 {
 				it.state = iterDone
 				return nil, false
 			}
@@ -171,7 +188,9 @@ func (it *Iterator) compIterFor(comp int) *compIter {
 
 // Enumerate calls yield for every tuple of ϕ(D), in the fixed enumeration
 // order of Algorithm 1, until yield returns false. The slice passed to
-// yield is reused; copy it to retain it. For a Boolean query with
+// yield follows the uniform contract of pkg/dyncq.Session.Enumerate: it
+// is owned by the callee and reused between calls (this is what keeps the
+// delay allocation-free) — copy it to retain it. For a Boolean query with
 // ϕ(D) = yes, yield is called once with an empty tuple.
 func (e *Engine) Enumerate(yield func(tuple []Value) bool) {
 	it := e.Iterator()

@@ -83,7 +83,7 @@ func weightOf(e *Engine, varName string, pathVals ...Value) (uint64, bool) {
 	c := e.comps[0]
 	for ni := range c.nodes {
 		if c.nodes[ni].name == varName {
-			it, ok := c.index[ni].Get(pathVals)
+			it, ok := c.shards[e.shardOf(pathVals[0])].index[ni].Get(pathVals)
 			if !ok {
 				return 0, false
 			}

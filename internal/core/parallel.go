@@ -1,0 +1,134 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"dyncq/internal/dyndb"
+)
+
+// This file implements the parallel batch pipeline over the sharded
+// engine. A coalesced batch decomposes into per-atom operations; every
+// operation touches only the items under one component root value, so
+// grouping operations into (component, shard-of-root-value) buckets makes
+// the buckets mutually independent: worker goroutines drain whole buckets
+// concurrently without any locking, and within a bucket operations keep
+// their batch order, so the final structure — counters, lists, list order
+// and therefore enumeration order — is identical no matter how many
+// workers ran or how they were scheduled.
+
+// bucketOp is one deferred per-atom update procedure.
+type bucketOp struct {
+	c      *comp
+	a      *catom
+	tuple  []Value
+	insert bool
+}
+
+// ApplyBatchParallel executes a batch like ApplyBatch but runs the
+// per-atom update procedures on up to workers goroutines, sharded by
+// component root value. The observable result (database, counters, lists,
+// enumeration order, applied count) is identical to ApplyBatch on an
+// engine with the same shard count. On an unsharded engine, with workers
+// <= 1, or when the batch yields at most one nonempty bucket, it falls
+// back to the sequential path. The engine version advances at most once
+// per batch. Like every Engine method it must not run concurrently with
+// other engine use — it parallelises the inside of one batch; callers
+// wanting concurrent batches and readers use pkg/dyncq.ConcurrentSession,
+// which serialises commits behind a lock.
+func (e *Engine) ApplyBatchParallel(updates []dyndb.Update, workers int) (applied int, err error) {
+	if workers <= 1 || e.shardCount == 1 || len(e.comps) == 0 {
+		return e.ApplyBatch(updates)
+	}
+	net := dyndb.Coalesce(updates)
+	for _, u := range net {
+		if want, ok := e.schema[u.Rel]; ok && want != len(u.Tuple) {
+			return 0, arityErr(u.Rel, want, len(u.Tuple))
+		}
+	}
+	defer func() {
+		if applied > 0 {
+			e.version++
+		}
+	}()
+	// Database phase (sequential): apply the net commands to the stored
+	// database, keeping the survivors that actually changed it. A db-level
+	// error (an arity conflict on a relation outside the query schema)
+	// aborts the rest of the batch; the structure is caught up with the
+	// survivors so far, exactly like the sequential path.
+	survivors := make([]dyndb.Update, 0, len(net))
+	for _, u := range net {
+		changed, dbErr := e.db.Apply(u)
+		if dbErr != nil {
+			for _, s := range survivors {
+				for _, ref := range e.rels[s.Rel] {
+					e.updateAtom(ref, s.Tuple, s.Op == dyndb.OpInsert)
+				}
+			}
+			return applied, dbErr
+		}
+		if changed {
+			survivors = append(survivors, u)
+			applied++
+		}
+	}
+	if len(survivors) == 0 {
+		return 0, nil
+	}
+
+	// Bucket phase: group the per-atom operations by (component, shard).
+	buckets := make([][]bucketOp, len(e.comps)*e.shardCount)
+	for _, u := range survivors {
+		insert := u.Op == dyndb.OpInsert
+		for _, ref := range e.rels[u.Rel] {
+			c := e.comps[ref.comp]
+			a := &c.atoms[ref.atom]
+			b := ref.comp*e.shardCount + int(e.shardOf(u.Tuple[a.extract[0]]))
+			buckets[b] = append(buckets[b], bucketOp{c: c, a: a, tuple: u.Tuple, insert: insert})
+		}
+	}
+	nonempty := buckets[:0]
+	for _, b := range buckets {
+		if len(b) > 0 {
+			nonempty = append(nonempty, b)
+		}
+	}
+	if len(nonempty) == 0 {
+		return applied, nil
+	}
+	if workers > len(nonempty) {
+		workers = len(nonempty)
+	}
+	if workers == 1 {
+		for _, b := range nonempty {
+			for _, op := range b {
+				e.updateAtomScratch(op.c, op.a, op.tuple, op.insert, e.scratchVals, e.scratchItems)
+			}
+		}
+		return applied, nil
+	}
+
+	// Worker phase: buckets are claimed off a shared counter so a few
+	// oversized buckets don't serialise behind an even split.
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			vals := make([]Value, e.maxDepth)
+			items := make([]*item, e.maxDepth)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(nonempty) {
+					return
+				}
+				for _, op := range nonempty[i] {
+					e.updateAtomScratch(op.c, op.a, op.tuple, op.insert, vals, items)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return applied, nil
+}

@@ -236,6 +236,31 @@ func Coalesce(updates []Update) []Update {
 	return out
 }
 
+// Partition splits a batch into shards sub-batches by hash of the
+// (relation, tuple) pair, preserving the relative order of commands
+// inside every shard. All commands on the same tuple land in the same
+// shard, so under set semantics the shards commute: applying them in any
+// order (or concurrently, each as its own batch) reaches the same final
+// database as the original batch — the companion of Coalesce for callers
+// that fan a net batch out over parallel appliers. Empty shards are
+// returned as nil slices; shards < 2 returns the whole batch as one
+// shard. The input is not modified.
+func Partition(updates []Update, shards int) [][]Update {
+	if shards < 2 {
+		return [][]Update{append([]Update(nil), updates...)}
+	}
+	out := make([][]Update, shards)
+	for _, u := range updates {
+		h := tuplekey.Hash(u.Tuple)
+		for i := 0; i < len(u.Rel); i++ {
+			h = h*0x100000001b3 ^ uint64(u.Rel[i])
+		}
+		s := h % uint64(shards)
+		out[s] = append(out[s], u)
+	}
+	return out
+}
+
 // ApplyAll executes a sequence of update commands, stopping at the first
 // error.
 func (d *Database) ApplyAll(updates []Update) error {

@@ -233,13 +233,24 @@ func (m *Maintainer) ApplyBatch(updates []dyndb.Update) (int, error) {
 	return done, nil
 }
 
-// Load replays an initial database as one batch (the preprocessing
-// phase). On an empty maintainer the batch path rebuilds the materialised
-// result with a single full evaluation — linear+join-cost preprocessing,
-// like Reset — instead of |D0| residual-join updates.
+// Load performs the preprocessing phase for an initial database with
+// reset-then-load semantics: after Load the maintainer represents
+// exactly db, regardless of earlier updates — the uniform contract
+// across all maintenance strategies (see pkg/dyncq.Session.Load). The
+// materialised result is rebuilt with a single full evaluation
+// (linear+join-cost preprocessing) instead of |D0| residual-join
+// updates. A failed Load (a relation clashing with the query schema's
+// arity) leaves the maintainer representing the EMPTY database; either
+// way the prior state is discarded and the version advances.
 func (m *Maintainer) Load(db *dyndb.Database) error {
-	_, err := m.ApplyBatch(db.Updates())
-	return err
+	for _, rel := range db.Relations() {
+		if want, ok := m.schema[rel]; ok && want != db.Relation(rel).Arity() {
+			m.Reset(dyndb.New())
+			return fmt.Errorf("ivm: %s has arity %d in query, %d in the loaded database", rel, want, db.Relation(rel).Arity())
+		}
+	}
+	m.Reset(db)
+	return nil
 }
 
 // Reset replaces the maintained database with db and rebuilds the
@@ -335,8 +346,11 @@ func (m *Maintainer) Multiplicity(tuple []Value) int64 {
 }
 
 // Enumerate calls yield for every tuple in the materialised result until
-// yield returns false. Order is unspecified; the slice passed to yield
-// must not be retained.
+// yield returns false. Order is unspecified. The slice passed to yield
+// follows the uniform contract of pkg/dyncq.Session.Enumerate: it is
+// owned by the callee and only valid during the call — copy it to retain
+// it. (This backend happens to decode a fresh slice per tuple today, but
+// callers must not rely on that.)
 func (m *Maintainer) Enumerate(yield func(tuple []Value) bool) {
 	for k := range m.result {
 		if !yield(tuplekey.Decode(k)) {

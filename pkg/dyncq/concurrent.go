@@ -1,0 +1,262 @@
+package dyncq
+
+import (
+	"sync"
+
+	"dyncq/internal/cq"
+	"dyncq/internal/dyndb"
+)
+
+// This file implements the concurrent front door of the session layer:
+// a ConcurrentSession serialises all structural commits behind a
+// sync.RWMutex — so any number of goroutines may submit updates and read
+// results — and, on the core backend, applies each batch's shard-disjoint
+// deltas on parallel worker goroutines (core.Engine.ApplyBatchParallel).
+//
+// The concurrency model, in one paragraph: writers (Insert, Delete,
+// Apply, ApplyBatch, ApplyBatched, Load) take the write lock, so exactly
+// one batch is in flight at a time and each commits atomically; readers
+// (Count, Answer, Enumerate, Tuples, View, …) take the read lock, run
+// concurrently with each other, and are excluded only while a write
+// holds the lock — a reader therefore always observes the state after
+// some whole prefix of the committed batch sequence, never a torn
+// mid-batch state. Version() counts committed state changes (the
+// session-level analogue of the version counter core.Engine bumps per
+// batch to invalidate iterators); View hands a callback the pinned
+// version together with locked access, so multi-call reads (count +
+// enumerate, say) are snapshot-consistent.
+
+// parallelBatcher is implemented by backends whose ApplyBatch can fan
+// shard-disjoint work out to worker goroutines (core.Engine). The other
+// backends degrade gracefully to their sequential batch path — for IVM
+// and recompute the cross-relation residual joins prevent sharding, so
+// there is nothing disjoint to hand to workers. Shards reports the
+// backend's shard count: on an unsharded backend ApplyBatchParallel is
+// the sequential path, and Parallel() must say so.
+type parallelBatcher interface {
+	ApplyBatchParallel([]dyndb.Update, int) (int, error)
+	Shards() int
+}
+
+// ConcurrentOptions configures NewConcurrent.
+type ConcurrentOptions struct {
+	// Force pins the backend, exactly as Options.Force.
+	Force Strategy
+	// Workers is the number of goroutines a single batch's shard deltas
+	// are applied on (core backend only; <= 1 keeps every path
+	// sequential). The core engine is built with 4×Workers shards so the
+	// dynamic bucket claim keeps all workers busy even when root values
+	// hash unevenly.
+	Workers int
+	// Shards overrides the shard count derived from Workers (rounded up
+	// to a power of two). 0 means derive.
+	Shards int
+}
+
+// ConcurrentSession is a Session that is safe for concurrent use. Build
+// one with NewConcurrent; the zero value is not ready.
+type ConcurrentSession struct {
+	mu      sync.RWMutex
+	s       *Session
+	workers int
+	version uint64
+}
+
+// NewConcurrent builds a concurrency-safe session for q. Routing follows
+// the same classification as New; opt.Workers > 1 additionally enables
+// sharded parallel batch application when the core backend serves the
+// query (other backends keep their sequential batch pipeline and are
+// merely lock-protected).
+func NewConcurrent(q *cq.Query, opt ConcurrentOptions) (*ConcurrentSession, error) {
+	shards := opt.Shards
+	if shards == 0 && opt.Workers > 1 {
+		shards = 4 * opt.Workers
+	}
+	s, err := NewWithOptions(q, Options{Force: opt.Force, Shards: shards})
+	if err != nil {
+		return nil, err
+	}
+	return &ConcurrentSession{s: s, workers: opt.Workers}, nil
+}
+
+// OpenConcurrent parses the query text and builds an auto-routed
+// concurrent session with the given worker count.
+func OpenConcurrent(text string, workers int) (*ConcurrentSession, error) {
+	q, err := cq.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	return NewConcurrent(q, ConcurrentOptions{Workers: workers})
+}
+
+// Query returns the maintained query. Immutable after construction.
+func (c *ConcurrentSession) Query() *cq.Query { return c.s.Query() }
+
+// Strategy returns the backend serving this session. Immutable after
+// construction.
+func (c *ConcurrentSession) Strategy() Strategy { return c.s.Strategy() }
+
+// Workers returns the configured worker count.
+func (c *ConcurrentSession) Workers() int { return c.workers }
+
+// Parallel reports whether batches are applied with sharded parallel
+// workers (core backend, Workers > 1, more than one shard) or through
+// the sequential pipeline under the lock.
+func (c *ConcurrentSession) Parallel() bool {
+	pb, ok := c.s.back.(parallelBatcher)
+	return ok && c.workers > 1 && pb.Shards() > 1
+}
+
+// Version returns the number of committed state changes (every Load
+// counts as one — even a failed Load discards the prior state, see
+// Session.Load). Two reads inside one View callback see the same
+// version; a bare Version call is only a point-in-time sample.
+func (c *ConcurrentSession) Version() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.version
+}
+
+// Insert applies one insertion, atomically with respect to readers.
+func (c *ConcurrentSession) Insert(rel string, tuple ...Value) (bool, error) {
+	return c.Apply(dyndb.Insert(rel, tuple...))
+}
+
+// Delete applies one deletion, atomically with respect to readers.
+func (c *ConcurrentSession) Delete(rel string, tuple ...Value) (bool, error) {
+	return c.Apply(dyndb.Delete(rel, tuple...))
+}
+
+// Apply executes one update command under the write lock.
+func (c *ConcurrentSession) Apply(u Update) (bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	changed, err := c.s.Apply(u)
+	if changed {
+		c.version++
+	}
+	return changed, err
+}
+
+// ApplyBatch executes a batch atomically: readers observe either the
+// state before the whole batch or after it, never a torn intermediate.
+// On the core backend with Workers > 1 the coalesced batch's shard
+// deltas are applied by parallel worker goroutines; other backends run
+// their sequential batch pipeline. Returns the number of net commands
+// that changed the database.
+func (c *ConcurrentSession) ApplyBatch(updates []Update) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.applyBatchLocked(updates)
+}
+
+func (c *ConcurrentSession) applyBatchLocked(updates []Update) (int, error) {
+	var (
+		n   int
+		err error
+	)
+	if pb, ok := c.s.back.(parallelBatcher); ok && c.workers > 1 {
+		n, err = pb.ApplyBatchParallel(updates, c.workers)
+	} else {
+		n, err = c.s.ApplyBatch(updates)
+	}
+	if n > 0 {
+		c.version++
+	}
+	return n, err
+}
+
+// ApplyBatched splits the updates into chunks of batchSize and commits
+// each chunk atomically (readers may observe the state between chunks —
+// each chunk is one version). batchSize <= 0 applies one batch.
+func (c *ConcurrentSession) ApplyBatched(updates []Update, batchSize int) (int, error) {
+	if batchSize <= 0 {
+		return c.ApplyBatch(updates)
+	}
+	applied := 0
+	for from := 0; from < len(updates); from += batchSize {
+		to := from + batchSize
+		if to > len(updates) {
+			to = len(updates)
+		}
+		n, err := c.ApplyBatch(updates[from:to])
+		applied += n
+		if err != nil {
+			return applied, err
+		}
+	}
+	return applied, nil
+}
+
+// Load performs the preprocessing phase under the write lock, with the
+// uniform reset-then-load contract of Session.Load. The version always
+// advances: success and failure both discard the prior state (a failed
+// Load leaves the empty database).
+func (c *ConcurrentSession) Load(db *Database) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	err := c.s.Load(db)
+	c.version++
+	return err
+}
+
+// Count returns |ϕ(D)| for the latest committed state.
+func (c *ConcurrentSession) Count() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.s.Count()
+}
+
+// Answer reports whether ϕ(D) is nonempty for the latest committed state.
+func (c *ConcurrentSession) Answer() bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.s.Answer()
+}
+
+// Enumerate streams the result of the latest committed state, holding
+// the read lock for the whole enumeration: writers wait until it
+// finishes, and the enumeration is never invalidated mid-way. The
+// Session.Enumerate slice contract applies (copy to retain). The lock
+// is not reentrant: yield must not call this ConcurrentSession's own
+// methods — a writer called from inside the enumeration self-deadlocks.
+// Collect the tuples and apply reactions after Enumerate returns.
+func (c *ConcurrentSession) Enumerate(yield func(tuple []Value) bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	c.s.Enumerate(yield)
+}
+
+// Tuples returns the full result of the latest committed state as
+// freshly allocated tuples.
+func (c *ConcurrentSession) Tuples() [][]Value {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.s.Tuples()
+}
+
+// Cardinality returns |D| for the latest committed state.
+func (c *ConcurrentSession) Cardinality() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.s.Cardinality()
+}
+
+// ActiveDomainSize returns n = |adom(D)| for the latest committed state.
+func (c *ConcurrentSession) ActiveDomainSize() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.s.ActiveDomainSize()
+}
+
+// View runs f with shared (read-locked) access to the session and the
+// version the snapshot pins: every read f performs sees the same
+// committed state. f must not call the ConcurrentSession's own methods
+// (the lock is not reentrant — a blocked writer between the two
+// acquisitions would deadlock) and must not retain s or the yielded
+// tuples past its return.
+func (c *ConcurrentSession) View(f func(s *Session, version uint64)) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	f(c.s, c.version)
+}

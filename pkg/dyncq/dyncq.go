@@ -132,11 +132,20 @@ type Options struct {
 	// StrategyCore on a non-q-hierarchical query fails with
 	// core.ErrNotQHierarchical.
 	Force Strategy
+	// Shards splits the core engine's per-component state by root-value
+	// hash (rounded up to a power of two; 0 or 1 means unsharded, the
+	// paper's exact layout with the canonical enumeration order). Sharding
+	// is the prerequisite for parallel batch application — see
+	// NewConcurrent — and only affects StrategyCore; the other backends
+	// ignore it.
+	Shards int
 }
 
 // Session maintains the result of one conjunctive query under updates
 // behind whichever strategy the classification (or Options.Force)
-// selected. A Session is not safe for concurrent use.
+// selected. A Session is not safe for concurrent use; wrap it in a
+// ConcurrentSession (NewConcurrent) to share one maintained query across
+// goroutines.
 type Session struct {
 	query    *cq.Query
 	class    qtree.Classification
@@ -167,7 +176,11 @@ func NewWithOptions(q *cq.Query, opt Options) (*Session, error) {
 	var err error
 	switch strategy {
 	case StrategyCore:
-		s.back, err = core.New(q)
+		shards := opt.Shards
+		if shards < 1 {
+			shards = 1
+		}
+		s.back, err = core.NewSharded(q, shards)
 	case StrategyIVM:
 		s.back, err = ivm.New(q)
 	case StrategyRecompute:
@@ -269,7 +282,15 @@ func (s *Session) ApplyBatched(updates []Update, batchSize int) (int, error) {
 // Load performs the preprocessing phase for an initial database through
 // the backend's bulk path: core builds its counters and fit lists in one
 // linear pass, ivm rebuilds its materialised result with a single full
-// evaluation, recompute just adopts the tuples.
+// evaluation, recompute adopts the tuples.
+//
+// Load has reset-then-load semantics on every backend: after Load the
+// session represents exactly db, discarding any state from earlier
+// updates or Loads; a failed Load (an arity clash between db and the
+// query schema) leaves the session representing the EMPTY database.
+// Either way the prior state is discarded. To add a database's tuples
+// on top of the current state, feed db.Updates() through ApplyBatch
+// instead.
 func (s *Session) Load(db *dyndb.Database) error { return s.back.Load(db) }
 
 // Count returns |ϕ(D)|, the number of distinct result tuples.
@@ -279,9 +300,15 @@ func (s *Session) Count() uint64 { return s.back.Count() }
 func (s *Session) Answer() bool { return s.back.Answer() }
 
 // Enumerate calls yield for every result tuple until yield returns
-// false. The slice passed to yield may be reused; copy it to retain it.
-// For a Boolean query that holds, yield is called once with an empty
-// tuple.
+// false. For a Boolean query that holds, yield is called once with an
+// empty tuple.
+//
+// The enumeration contract is uniform across all backends: the slice
+// passed to yield is owned by the callee and only valid for the duration
+// of the call — it may be reused for the next tuple, so callers that
+// retain tuples must copy them (Tuples does). Mutating the yielded slice
+// inside yield is harmless to the session's state but the mutation is
+// not preserved either.
 func (s *Session) Enumerate(yield func(tuple []Value) bool) { s.back.Enumerate(yield) }
 
 // Tuples returns the full result as freshly allocated tuples, in the

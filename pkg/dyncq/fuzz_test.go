@@ -1,0 +1,70 @@
+package dyncq
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzParseUpdate fuzzes the stream-format parser, seeded with the
+// accept/reject corpus of the unit tests. Properties: the parser never
+// panics; every accepted command has a valid relation name, a non-empty
+// tuple, and round-trips exactly through FormatUpdate → ParseUpdate;
+// and commands with a doubled sign or text after the closing parenthesis
+// are never accepted. Run the baked-in corpus with go test; explore with
+// go test -fuzz=FuzzParseUpdate ./pkg/dyncq.
+func FuzzParseUpdate(f *testing.F) {
+	for _, seed := range []string{
+		// accepted forms
+		"+E(1,2)", "E(1,2)", "-E(1,2)", "  - T( 7 ) ", "+R_1(-3,0,42)",
+		"E'(9223372036854775807)", "_x(-9223372036854775808)",
+		// rejected forms
+		"", "E", "E()", "+(1)", "E(1", "E(a)", "E(1,,2)", "+-E(1,2)",
+		"1E(1)", "E x(1)", "--E(1)", "E(1,2)x", "E(1,2) # c", "E(1)(2)",
+		"E(1 2)", "E(0x1)", "E(1,2,)", "+", "-", "E((1))", "E(١)",
+		"#E(1)", "\x00E(1)", "E(18446744073709551615)",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		u, err := ParseUpdate(line)
+		if err != nil {
+			return // rejection is always acceptable; not panicking is the point
+		}
+		if !validRelName(u.Rel) {
+			t.Fatalf("ParseUpdate(%q) accepted invalid relation name %q", line, u.Rel)
+		}
+		if len(u.Tuple) == 0 {
+			t.Fatalf("ParseUpdate(%q) accepted an empty tuple", line)
+		}
+		// No doubled sign can have been accepted.
+		s := strings.TrimSpace(line)
+		if len(s) > 0 && (s[0] == '+' || s[0] == '-') {
+			rest := strings.TrimSpace(s[1:])
+			if len(rest) > 0 && (rest[0] == '+' || rest[0] == '-') {
+				t.Fatalf("ParseUpdate(%q) accepted a doubled sign", line)
+			}
+		}
+		// Nothing after the closing parenthesis can have been accepted.
+		if i := strings.IndexByte(s, ')'); i >= 0 && i != len(s)-1 {
+			t.Fatalf("ParseUpdate(%q) accepted trailing garbage", line)
+		}
+		// Round trip: format and reparse must reproduce the update exactly.
+		formatted := FormatUpdate(u)
+		if !utf8.ValidString(formatted) {
+			t.Fatalf("FormatUpdate(%v) produced invalid UTF-8", u)
+		}
+		u2, err := ParseUpdate(formatted)
+		if err != nil {
+			t.Fatalf("round trip of %q: ParseUpdate(%q): %v", line, formatted, err)
+		}
+		if u2.Op != u.Op || u2.Rel != u.Rel || len(u2.Tuple) != len(u.Tuple) {
+			t.Fatalf("round trip of %q: %v != %v", line, u2, u)
+		}
+		for i := range u.Tuple {
+			if u.Tuple[i] != u2.Tuple[i] {
+				t.Fatalf("round trip of %q: tuple diverges at %d", line, i)
+			}
+		}
+	})
+}

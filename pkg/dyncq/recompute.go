@@ -56,27 +56,32 @@ func (r *recompute) ApplyBatch(updates []dyndb.Update) (int, error) {
 	return applied, nil
 }
 
-// Load adopts the initial database wholesale when the strategy is empty,
-// falling back to replay otherwise. Relations that clash with the query
-// schema's arities are rejected, as on every other path.
+// Load adopts the initial database wholesale, with the uniform
+// reset-then-load contract: after Load the strategy stores exactly db,
+// discarding earlier updates (see pkg/dyncq.Session.Load). A failed
+// Load (a relation clashing with the query schema's arity) leaves the
+// strategy storing the EMPTY database; either way the prior state is
+// discarded.
 func (r *recompute) Load(db *dyndb.Database) error {
 	for _, rel := range db.Relations() {
 		if want, ok := r.schema[rel]; ok && want != db.Relation(rel).Arity() {
+			r.db = dyndb.New()
 			return fmt.Errorf("recompute: %s has arity %d in query, %d in the loaded database", rel, want, db.Relation(rel).Arity())
 		}
 	}
-	if r.db.Cardinality() == 0 {
-		r.db = db.Clone()
-		return nil
-	}
-	_, err := r.ApplyBatch(db.Updates())
-	return err
+	r.db = db.Clone()
+	return nil
 }
 
 func (r *recompute) Count() uint64 { return uint64(eval.Count(r.q, r.db)) }
 
 func (r *recompute) Answer() bool { return eval.Answer(r.q, r.db) }
 
+// Enumerate re-evaluates the query and streams the result. The yielded
+// slice follows the uniform contract of Session.Enumerate (callee-owned,
+// valid only during the call) even though this backend yields slices of
+// a throwaway result set today — callers must not rely on backend
+// accidents that are stronger than the contract.
 func (r *recompute) Enumerate(yield func(tuple []Value) bool) {
 	eval.Evaluate(r.q, r.db).Each(yield)
 }

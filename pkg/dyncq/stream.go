@@ -19,42 +19,62 @@ import (
 //	E(1,2)      insert (the sign is optional for database files)
 //	# comment   (blank lines and #-comments are skipped)
 //
-// Tuple entries are int64 constants.
+// Tuple entries are int64 constants. The parser is strict: exactly one
+// optional sign, a valid relation identifier, one parenthesised tuple,
+// and nothing after the closing parenthesis. Malformed input is rejected
+// with an error naming the offence (doubled sign, trailing garbage,
+// non-integer entry, …) rather than whatever the nearest scanner rule
+// happened to produce.
 
 // ParseUpdate parses one update command line.
 func ParseUpdate(line string) (Update, error) {
 	s := strings.TrimSpace(line)
+	if s == "" {
+		return Update{}, fmt.Errorf("malformed update %q: empty command (want [+|-]R(v1,…,vr))", line)
+	}
 	op := dyndb.OpInsert
-	switch {
-	case strings.HasPrefix(s, "+"):
+	switch s[0] {
+	case '+':
 		s = strings.TrimSpace(s[1:])
-	case strings.HasPrefix(s, "-"):
+	case '-':
 		op = dyndb.OpDelete
 		s = strings.TrimSpace(s[1:])
 	}
+	// A second sign after the first is a doubled sign ("+-E(1,2)"), not a
+	// weird relation name: reject it explicitly.
+	if s != "" && (s[0] == '+' || s[0] == '-') {
+		return Update{}, fmt.Errorf("malformed update %q: doubled sign", line)
+	}
 	open := strings.IndexByte(s, '(')
-	if open <= 0 || !strings.HasSuffix(s, ")") {
+	if open <= 0 {
 		return Update{}, fmt.Errorf("malformed update %q (want [+|-]R(v1,…,vr))", line)
+	}
+	closing := strings.IndexByte(s, ')')
+	switch {
+	case closing < 0:
+		return Update{}, fmt.Errorf("malformed update %q: missing ')'", line)
+	case closing != len(s)-1:
+		return Update{}, fmt.Errorf("malformed update %q: garbage after ')': %q", line, s[closing+1:])
 	}
 	rel := strings.TrimSpace(s[:open])
 	if !validRelName(rel) {
 		return Update{}, fmt.Errorf("malformed update %q: invalid relation name %q", line, rel)
 	}
-	body := s[open+1 : len(s)-1]
+	body := s[open+1 : closing]
 	var tuple []Value
-	for _, f := range strings.Split(body, ",") {
+	for i, f := range strings.Split(body, ",") {
 		f = strings.TrimSpace(f)
 		if f == "" {
-			return Update{}, fmt.Errorf("malformed update %q: empty tuple entry", line)
+			if i == 0 && !strings.Contains(body, ",") {
+				return Update{}, fmt.Errorf("malformed update %q: empty tuple", line)
+			}
+			return Update{}, fmt.Errorf("malformed update %q: empty tuple entry %d", line, i+1)
 		}
 		v, err := strconv.ParseInt(f, 10, 64)
 		if err != nil {
-			return Update{}, fmt.Errorf("malformed update %q: %w", line, err)
+			return Update{}, fmt.Errorf("malformed update %q: tuple entry %d (%q) is not an int64", line, i+1, f)
 		}
 		tuple = append(tuple, v)
-	}
-	if len(tuple) == 0 {
-		return Update{}, fmt.Errorf("malformed update %q: empty tuple", line)
 	}
 	return Update{Op: op, Rel: rel, Tuple: tuple}, nil
 }
@@ -80,29 +100,129 @@ func validRelName(rel string) bool {
 	return true
 }
 
-// ParseStream reads an update stream, one command per line, skipping
-// blank lines and #-comments.
-func ParseStream(r io.Reader) ([]Update, error) {
-	var out []Update
+// StreamReader reads an update stream command by command, tracking line
+// numbers so errors — both parse errors here and apply-time errors in
+// ApplyStream — can name the offending line. Blank lines and #-comments
+// are skipped.
+type StreamReader struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+// NewStreamReader returns a reader over r. Lines up to 16MiB are
+// accepted.
+func NewStreamReader(r io.Reader) *StreamReader {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
+	return &StreamReader{sc: sc}
+}
+
+// Next returns the next update and its 1-based line number. At the end
+// of the stream it returns io.EOF; parse and read errors carry the line
+// number.
+func (r *StreamReader) Next() (Update, int, error) {
+	for r.sc.Scan() {
+		r.line++
+		line := strings.TrimSpace(r.sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
 		u, err := ParseUpdate(line)
 		if err != nil {
-			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			return Update{}, r.line, fmt.Errorf("line %d: %w", r.line, err)
+		}
+		return u, r.line, nil
+	}
+	if err := r.sc.Err(); err != nil {
+		// I/O and scanner errors (e.g. a line over the 16MiB cap) strike
+		// after the last successfully read line — point there so the
+		// offending region is locatable, like every parse error.
+		return Update{}, r.line, fmt.Errorf("after line %d: %w", r.line, err)
+	}
+	return Update{}, r.line, io.EOF
+}
+
+// ParseStream reads a whole update stream, one command per line.
+func ParseStream(r io.Reader) ([]Update, error) {
+	var out []Update
+	sr := NewStreamReader(r)
+	for {
+		u, _, err := sr.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
 		}
 		out = append(out, u)
 	}
-	if err := sc.Err(); err != nil {
-		return nil, err
+}
+
+// streamApplier is the slice of the session API ApplyStream needs; both
+// *Session and *ConcurrentSession satisfy it.
+type streamApplier interface {
+	Schema() map[string]int
+	ApplyBatch(updates []Update) (int, error)
+}
+
+// Schema returns the query's relation→arity map (see cq.Query.Schema).
+func (s *Session) Schema() map[string]int { return s.query.Schema() }
+
+// Schema returns the query's relation→arity map. Immutable after
+// construction.
+func (c *ConcurrentSession) Schema() map[string]int { return c.s.Schema() }
+
+// ApplyStream reads the update stream from r and applies it to the
+// session in batches of batchSize commands (batchSize <= 0 applies one
+// batch at the end). Every command's arity is checked against the
+// session's query schema at apply time, so a mismatch is reported with
+// the offending line number — something the backends' own arity errors
+// cannot do once the text positions are gone. Returns the number of net
+// commands that changed the database, stopping at the first error.
+func ApplyStream(sess streamApplier, r io.Reader, batchSize int) (int, error) {
+	return ApplyStreamFunc(sess, r, batchSize, nil)
+}
+
+// ApplyStreamFunc is ApplyStream with an observer: observe (if non-nil)
+// is called for every parsed command with its line number, before the
+// command is batched — the hook the CLI uses to count commands and warn
+// about relations outside the query on the same single parse pass.
+func ApplyStreamFunc(sess streamApplier, r io.Reader, batchSize int, observe func(u Update, line int)) (int, error) {
+	schema := sess.Schema()
+	sr := NewStreamReader(r)
+	applied := 0
+	var pending []Update
+	flush := func() error {
+		if len(pending) == 0 {
+			return nil
+		}
+		n, err := sess.ApplyBatch(pending)
+		applied += n
+		pending = pending[:0]
+		return err
 	}
-	return out, nil
+	for {
+		u, line, err := sr.Next()
+		if err == io.EOF {
+			return applied, flush()
+		}
+		if err != nil {
+			return applied, err
+		}
+		if want, ok := schema[u.Rel]; ok && want != len(u.Tuple) {
+			return applied, fmt.Errorf("line %d: %s has arity %d in the query, got tuple of length %d",
+				line, u.Rel, want, len(u.Tuple))
+		}
+		if observe != nil {
+			observe(u, line)
+		}
+		pending = append(pending, u)
+		if batchSize > 0 && len(pending) >= batchSize {
+			if err := flush(); err != nil {
+				return applied, err
+			}
+		}
+	}
 }
 
 // FormatUpdate renders an update in the stream syntax, the inverse of

@@ -1,6 +1,7 @@
 package dyncq
 
 import (
+	"io"
 	"math/rand"
 	"reflect"
 	"strings"
@@ -35,6 +36,103 @@ func TestParseUpdate(t *testing.T) {
 		if _, err := ParseUpdate(bad); err == nil {
 			t.Errorf("ParseUpdate(%q): want error", bad)
 		}
+	}
+}
+
+// TestParseUpdateRejectsExplicitly pins the hardened rejections: doubled
+// signs and interior/trailing garbage fail with errors naming the
+// offence, not whatever a downstream rule tripped over first.
+func TestParseUpdateRejectsExplicitly(t *testing.T) {
+	cases := []struct{ in, wantSub string }{
+		{"+-E(1,2)", "doubled sign"},
+		{"-+E(1,2)", "doubled sign"},
+		{"--E(1)", "doubled sign"},
+		{"+ +E(1)", "doubled sign"},
+		{"E(1,2)x", "garbage after ')'"},
+		{"E(1,2) extra", "garbage after ')'"},
+		{"E(1,2) # trailing comment", "garbage after ')'"},
+		{"E(1)(2)", "garbage after ')'"},
+		{"E(1,2", "missing ')'"},
+		{"E(1 2)", "not an int64"},
+		{"E(0x1)", "not an int64"},
+		{"E(1,,2)", "empty tuple entry"},
+		{"E(1,2,)", "empty tuple entry"},
+		{"E()", "empty tuple"},
+		{"+", "want [+|-]R"},
+		{"-", "want [+|-]R"},
+	}
+	for _, c := range cases {
+		_, err := ParseUpdate(c.in)
+		if err == nil {
+			t.Errorf("ParseUpdate(%q): want error containing %q, got nil", c.in, c.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("ParseUpdate(%q): error %q does not mention %q", c.in, err, c.wantSub)
+		}
+	}
+}
+
+// TestApplyStream: streams apply in batches through the session, and an
+// arity mismatch against the session's query is reported with the
+// offending line number at apply time.
+func TestApplyStream(t *testing.T) {
+	s, err := Open("Q(y) :- E(x,y), T(y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := ApplyStream(s, strings.NewReader(`
+# initial data
++E(1,2)
++E(3,2)
++T(2)
+-E(3,2)
+`), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Errorf("net applied = %d, want 4 (E(3,2) is inserted and deleted in different batches, so both count)", n)
+	}
+	if got := s.Count(); got != 1 {
+		t.Errorf("count = %d, want 1", got)
+	}
+	// Arity mismatch against the query: line-attributed error.
+	_, err = ApplyStream(s, strings.NewReader("+E(1,2)\n+T(2,9)\n"), 0)
+	if err == nil || !strings.Contains(err.Error(), "line 2") || !strings.Contains(err.Error(), "arity") {
+		t.Fatalf("want line-2 arity error, got %v", err)
+	}
+	// The concurrent session satisfies the same interface.
+	cs, err := OpenConcurrent("Q(y) :- E(x,y), T(y)", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ApplyStream(cs, strings.NewReader("+E(5,6)\n+T(6)\n"), 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := cs.Count(); got != 1 {
+		t.Errorf("concurrent count = %d, want 1", got)
+	}
+	// Parse errors also carry the line.
+	_, err = ApplyStream(s, strings.NewReader("+E(1,2)\n\n+-E(3,4)\n"), 0)
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("want line-3 parse error, got %v", err)
+	}
+}
+
+// TestStreamReaderLineNumbers: comments and blanks advance the counter.
+func TestStreamReaderLineNumbers(t *testing.T) {
+	sr := NewStreamReader(strings.NewReader("# c\n\n+E(1,2)\n# c\n-E(1,2)\n"))
+	u, line, err := sr.Next()
+	if err != nil || line != 3 || u.Rel != "E" {
+		t.Fatalf("first Next = %v line %d err %v, want E line 3", u, line, err)
+	}
+	u, line, err = sr.Next()
+	if err != nil || line != 5 || u.Op != OpDelete {
+		t.Fatalf("second Next = %v line %d err %v, want delete line 5", u, line, err)
+	}
+	if _, _, err := sr.Next(); err != io.EOF {
+		t.Fatalf("want io.EOF, got %v", err)
 	}
 }
 
