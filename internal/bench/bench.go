@@ -161,6 +161,9 @@ type Report struct {
 	GoVersion   string        `json:"go_version,omitempty"`
 	Cases       []CaseResult  `json:"cases"`
 	Sweeps      []SweepResult `json:"sweeps,omitempty"`
+	// Multi holds the multi-query workspace phase (see RunMulti);
+	// reports from before the workspace front door simply lack it.
+	Multi []MultiResult `json:"multi,omitempty"`
 }
 
 // RunCase measures every given strategy on the case. Strategies that

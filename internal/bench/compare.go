@@ -83,20 +83,95 @@ func LoadReport(path string) (Report, error) {
 // tails at the looser P99Tolerance); max is deliberately excluded as a
 // single-sample outlier magnet.
 func Compare(oldRep, newRep Report, opt CompareOptions) []Regression {
+	regs, _ := CompareWithNotices(oldRep, newRep, opt)
+	return regs
+}
+
+// CompareWithNotices is Compare plus the skip notices: every phase,
+// case, or metric family present in the new report but absent from the
+// baseline is reported as a notice instead of silently ignored (or,
+// worse, erroring) — so a baseline recorded before a new bench phase
+// existed still gates everything it can, and the CLI tells the operator
+// exactly what it could not gate.
+func CompareWithNotices(oldRep, newRep Report, opt CompareOptions) ([]Regression, []string) {
 	var regs []Regression
+	var notices []string
 	oldCases := make(map[string]CaseResult, len(oldRep.Cases))
 	for _, c := range oldRep.Cases {
 		oldCases[c.Name] = c
 	}
+	newCases := make(map[string]bool, len(newRep.Cases))
 	for _, nc := range newRep.Cases {
+		newCases[nc.Name] = true
 		oc, ok := oldCases[nc.Name]
 		if !ok {
+			notices = append(notices, fmt.Sprintf("case %q absent from baseline: not gated", nc.Name))
 			continue
 		}
 		regs = append(regs, compareStrategies(nc.Name, oc.Strategies, nc.Strategies, opt)...)
 	}
+	// The reverse gap matters just as much: a baseline case the new
+	// report no longer measures silently escapes the gate otherwise.
+	for _, oc := range oldRep.Cases {
+		if !newCases[oc.Name] {
+			notices = append(notices, fmt.Sprintf("case %q in baseline but not in new report: not gated", oc.Name))
+		}
+	}
+
+	// Multi-query phase: gate the shared pipeline's per-batch latency
+	// and every query's maintenance percentiles against the baseline.
+	switch {
+	case len(newRep.Multi) > 0 && len(oldRep.Multi) == 0:
+		notices = append(notices, "baseline has no multi-query phase: not gated")
+	case len(newRep.Multi) == 0 && len(oldRep.Multi) > 0:
+		notices = append(notices, "new report has no multi-query phase (bench -multi=false?): not gated")
+	default:
+		oldMulti := make(map[string]MultiResult, len(oldRep.Multi))
+		for _, m := range oldRep.Multi {
+			oldMulti[m.Name] = m
+		}
+		newMulti := make(map[string]bool, len(newRep.Multi))
+		for _, nm := range newRep.Multi {
+			newMulti[nm.Name] = true
+			om, ok := oldMulti[nm.Name]
+			if !ok {
+				notices = append(notices, fmt.Sprintf("multi case %q absent from baseline: not gated", nm.Name))
+				continue
+			}
+			who := "multi/" + nm.Name
+			regs = append(regs, compareMetric(who, "batch_ns.p50", om.BatchNS.P50, nm.BatchNS.P50, opt.Tolerance, opt)...)
+			regs = append(regs, compareMetric(who, "batch_ns.p99", om.BatchNS.P99, nm.BatchNS.P99, opt.p99Tolerance(), opt)...)
+			oldQ := make(map[string]MultiQueryResult, len(om.Queries))
+			for _, q := range om.Queries {
+				oldQ[q.Name] = q
+			}
+			newQ := make(map[string]bool, len(nm.Queries))
+			for _, nq := range nm.Queries {
+				newQ[nq.Name] = true
+				oq, ok := oldQ[nq.Name]
+				if !ok {
+					notices = append(notices, fmt.Sprintf("multi case %q query %q absent from baseline: not gated", nm.Name, nq.Name))
+					continue
+				}
+				qwho := who + "/" + nq.Name
+				regs = append(regs, compareMetric(qwho, "maintain_ns.p50", oq.MaintainNS.P50, nq.MaintainNS.P50, opt.Tolerance, opt)...)
+				regs = append(regs, compareMetric(qwho, "maintain_ns.p99", oq.MaintainNS.P99, nq.MaintainNS.P99, opt.p99Tolerance(), opt)...)
+			}
+			for _, oq := range om.Queries {
+				if !newQ[oq.Name] {
+					notices = append(notices, fmt.Sprintf("multi case %q query %q in baseline but not in new report: not gated", nm.Name, oq.Name))
+				}
+			}
+		}
+		for _, om := range oldRep.Multi {
+			if !newMulti[om.Name] {
+				notices = append(notices, fmt.Sprintf("multi case %q in baseline but not in new report: not gated", om.Name))
+			}
+		}
+	}
+
 	if !opt.IncludeSweeps {
-		return regs
+		return regs, notices
 	}
 	oldSweeps := make(map[string]SweepResult, len(oldRep.Sweeps))
 	for _, s := range oldRep.Sweeps {
@@ -105,6 +180,7 @@ func Compare(oldRep, newRep Report, opt CompareOptions) []Regression {
 	for _, ns := range newRep.Sweeps {
 		oldSweep, ok := oldSweeps[ns.Name]
 		if !ok {
+			notices = append(notices, fmt.Sprintf("sweep %q absent from baseline: not gated", ns.Name))
 			continue
 		}
 		oldPoints := make(map[int]SweepPoint, len(oldSweep.Points))
@@ -114,13 +190,14 @@ func Compare(oldRep, newRep Report, opt CompareOptions) []Regression {
 		for _, np := range ns.Points {
 			op, ok := oldPoints[np.N]
 			if !ok {
+				notices = append(notices, fmt.Sprintf("sweep %q point n=%d absent from baseline: not gated", ns.Name, np.N))
 				continue
 			}
 			label := fmt.Sprintf("%s/n=%d", ns.Name, np.N)
 			regs = append(regs, compareStrategies(label, op.Strategies, np.Strategies, opt)...)
 		}
 	}
-	return regs
+	return regs, notices
 }
 
 func compareStrategies(label string, oldStrats, newStrats []StrategyResult, opt CompareOptions) []Regression {

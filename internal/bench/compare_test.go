@@ -146,3 +146,68 @@ func TestLoadReportRoundTrip(t *testing.T) {
 		t.Error("missing file loaded")
 	}
 }
+
+// TestCompareNoticesForMissingPhases: a new report with phases the
+// baseline predates (the multi-query phase, a new case) is gated on the
+// common part and the rest is reported as notices, never an error.
+func TestCompareNoticesForMissingPhases(t *testing.T) {
+	oldRep := Report{Cases: []CaseResult{{
+		Name: "star",
+		Strategies: []StrategyResult{{
+			Strategy: "core",
+			UpdateNS: Percentiles{P50: 100000, P99: 200000},
+			DelayNS:  Percentiles{P50: 100000, P99: 200000},
+		}},
+	}}}
+	newRep := Report{
+		Cases: []CaseResult{
+			{Name: "star", Strategies: []StrategyResult{{
+				Strategy: "core",
+				UpdateNS: Percentiles{P50: 100000, P99: 200000},
+				DelayNS:  Percentiles{P50: 100000, P99: 200000},
+			}}},
+			{Name: "brand-new-case"},
+		},
+		Multi: []MultiResult{{
+			Name:    "workspace-4q",
+			BatchNS: Percentiles{P50: 1 << 30, P99: 1 << 30}, // huge, but ungated: no baseline
+			Queries: []MultiQueryResult{{Name: "star", MaintainNS: Percentiles{P50: 1 << 30, P99: 1 << 30}}},
+		}},
+	}
+	regs, notices := CompareWithNotices(oldRep, newRep, DefaultCompareOptions())
+	if len(regs) != 0 {
+		t.Fatalf("phases absent from the baseline produced regressions: %v", regs)
+	}
+	if len(notices) != 2 {
+		t.Fatalf("notices = %v, want one for the new case and one for the multi phase", notices)
+	}
+}
+
+// TestCompareGatesMultiPhase: once the baseline has a multi phase, its
+// percentiles are gated like every other latency.
+func TestCompareGatesMultiPhase(t *testing.T) {
+	mk := func(batchP50, maintainP50 int64) Report {
+		// p99s held constant so only the p50 movement is under test.
+		return Report{Multi: []MultiResult{{
+			Name:    "workspace-4q",
+			BatchNS: Percentiles{P50: batchP50, P99: 500000},
+			Queries: []MultiQueryResult{{
+				Name:       "star",
+				MaintainNS: Percentiles{P50: maintainP50, P99: 500000},
+			}},
+		}}}
+	}
+	opt := DefaultCompareOptions()
+	regs, notices := CompareWithNotices(mk(100000, 50000), mk(100000, 50000), opt)
+	if len(regs) != 0 || len(notices) != 0 {
+		t.Fatalf("identical multi phases flagged: regs=%v notices=%v", regs, notices)
+	}
+	regs, _ = CompareWithNotices(mk(100000, 50000), mk(200000, 50000), opt)
+	if len(regs) != 1 || regs[0].Metric != "batch_ns.p50" {
+		t.Fatalf("doubled batch p50 not flagged exactly once: %v", regs)
+	}
+	regs, _ = CompareWithNotices(mk(100000, 50000), mk(100000, 150000), opt)
+	if len(regs) != 1 || regs[0].Metric != "maintain_ns.p50" {
+		t.Fatalf("tripled maintain p50 not flagged exactly once: %v", regs)
+	}
+}

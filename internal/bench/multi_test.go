@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"math/rand"
+	"testing"
+
+	"dyncq/internal/cq"
+	"dyncq/internal/workload"
+	"dyncq/pkg/dyncq"
+)
+
+func multiTestConfig(t *testing.T) MultiConfig {
+	t.Helper()
+	rng := rand.New(rand.NewSource(5))
+	schema := map[string]int{"E": 2, "S": 1, "T": 1}
+	return MultiConfig{
+		Name: "mini",
+		Queries: []NamedQuery{
+			{Name: "star", Query: cq.MustParse("Q(y) :- E(x,y), T(y)")},
+			{Name: "hard", Query: cq.MustParse("Q(x,y) :- S(x), E(x,y), T(y)")},
+			{Name: "audit", Query: cq.MustParse("Q(y) :- E(x,y), T(y)"), Force: dyncq.StrategyRecompute},
+		},
+		Initial:   workload.RandomDatabase(rng, schema, 12, 40).Updates(),
+		Stream:    workload.RandomStream(rng, schema, 12, 300, 0.35),
+		BatchSize: 32,
+		Repeat:    2,
+	}
+}
+
+// TestRunMulti: the multi-query phase reports matching results for every
+// query and a shared mutation count that is 1/K of the solo sum.
+func TestRunMulti(t *testing.T) {
+	cfg := multiTestConfig(t)
+	res, err := RunMulti(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumQueries != 3 || len(res.Queries) != 3 {
+		t.Fatalf("NumQueries = %d / %d results, want 3", res.NumQueries, len(res.Queries))
+	}
+	if res.NetApplied == 0 || res.Batches == 0 {
+		t.Fatal("measured phase applied nothing")
+	}
+	for _, q := range res.Queries {
+		if !q.MatchesSolo {
+			t.Errorf("query %s [%s] diverges from its independent session", q.Name, q.Strategy)
+		}
+		if q.MaintainNS.P50 < 0 || q.MaintainTotalNS < 0 {
+			t.Errorf("query %s: negative maintenance time", q.Name)
+		}
+	}
+	// The acceptance claim: store mutations are independent of K — the
+	// solo sessions together mutated exactly K times the shared count.
+	if res.SharedStoreMutations == 0 {
+		t.Fatal("no shared store mutations recorded; test is vacuous")
+	}
+	if want := res.SharedStoreMutations * uint64(res.NumQueries); res.SoloStoreMutations != want {
+		t.Fatalf("solo store mutations %d, want K×shared = %d", res.SoloStoreMutations, want)
+	}
+}
+
+// TestMultiReportRoundTrip: the multi phase survives the JSON artifact.
+func TestMultiReportRoundTrip(t *testing.T) {
+	res, err := RunMulti(multiTestConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Report{Cases: []CaseResult{}, Multi: []MultiResult{res}}
+	path := t.TempDir() + "/multi.json"
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Multi) != 1 || back.Multi[0].Name != "mini" ||
+		back.Multi[0].SharedStoreMutations != res.SharedStoreMutations {
+		t.Fatalf("multi phase did not survive the JSON round trip: %+v", back.Multi)
+	}
+}

@@ -26,6 +26,9 @@ import (
 // so outstanding iterators are always invalidated when the structure
 // changed.
 func (e *Engine) ApplyBatch(updates []dyndb.Update) (applied int, err error) {
+	if e.extStore {
+		return 0, errSharedStore
+	}
 	defer func() {
 		if applied > 0 {
 			e.version++

@@ -180,6 +180,14 @@ type Engine struct {
 	// two); shardMask is shardCount-1, zero for the unsharded default.
 	shardCount int
 	shardMask  uint64
+	// extStore marks an engine bound to an externally owned shared store
+	// (NewOnStore): the engine never mutates e.db itself — the owning
+	// workspace applies updates to the store once and feeds the net delta
+	// in through ApplySharedUpdate/ApplySharedDelta. The self-driving
+	// entry points (Apply, ApplyBatch, ApplyBatchParallel, Load) refuse
+	// to run in this mode, since they would mutate the shared store a
+	// second time.
+	extStore bool
 	// maxDepth is the longest atom root path, the scratch buffer size.
 	maxDepth int
 
@@ -417,6 +425,9 @@ func (e *Engine) Delete(rel string, tuple ...Value) (bool, error) {
 // procedure). Updates to relations not mentioned in the query only change
 // the stored database. Outstanding iterators are invalidated.
 func (e *Engine) Apply(u dyndb.Update) (bool, error) {
+	if e.extStore {
+		return false, errSharedStore
+	}
 	if want, ok := e.schema[u.Rel]; ok && want != len(u.Tuple) {
 		return false, arityErr(u.Rel, want, len(u.Tuple))
 	}
@@ -459,6 +470,9 @@ func (e *Engine) ApplyAll(updates []dyndb.Update) error {
 // the EMPTY database, not the half-built one. Either way the version
 // advances, so outstanding iterators are always invalidated.
 func (e *Engine) Load(db *dyndb.Database) error {
+	if e.extStore {
+		return errSharedStore
+	}
 	e.reset()
 	if err := e.loadBulk(db); err != nil {
 		e.reset()
@@ -474,6 +488,13 @@ func (e *Engine) Load(db *dyndb.Database) error {
 // monotonic.
 func (e *Engine) reset() {
 	e.db = dyndb.New()
+	e.clearStructure()
+}
+
+// clearStructure discards the view structure (items, lists, counters)
+// without touching the database — the shared-store half of reset, where
+// the store's lifecycle belongs to the workspace that owns it.
+func (e *Engine) clearStructure() {
 	for _, c := range e.comps {
 		for si := range c.shards {
 			sh := &c.shards[si]

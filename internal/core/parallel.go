@@ -37,6 +37,9 @@ type bucketOp struct {
 // wanting concurrent batches and readers use pkg/dyncq.ConcurrentSession,
 // which serialises commits behind a lock.
 func (e *Engine) ApplyBatchParallel(updates []dyndb.Update, workers int) (applied int, err error) {
+	if e.extStore {
+		return 0, errSharedStore
+	}
 	if workers <= 1 || e.shardCount == 1 || len(e.comps) == 0 {
 		return e.ApplyBatch(updates)
 	}
@@ -75,7 +78,17 @@ func (e *Engine) ApplyBatchParallel(updates []dyndb.Update, workers int) (applie
 	if len(survivors) == 0 {
 		return 0, nil
 	}
+	e.runDeltaParallel(survivors, workers)
+	return applied, nil
+}
 
+// runDeltaParallel runs the per-atom update procedures for a net delta
+// of survivors (commands that changed the database) on up to workers
+// goroutines: the bucket phase groups operations by (component, shard),
+// then workers claim whole buckets off a shared counter so a few
+// oversized buckets don't serialise behind an even split. The caller is
+// responsible for the database phase and the version bump.
+func (e *Engine) runDeltaParallel(survivors []dyndb.Update, workers int) {
 	// Bucket phase: group the per-atom operations by (component, shard).
 	buckets := make([][]bucketOp, len(e.comps)*e.shardCount)
 	for _, u := range survivors {
@@ -94,7 +107,7 @@ func (e *Engine) ApplyBatchParallel(updates []dyndb.Update, workers int) (applie
 		}
 	}
 	if len(nonempty) == 0 {
-		return applied, nil
+		return
 	}
 	if workers > len(nonempty) {
 		workers = len(nonempty)
@@ -105,7 +118,7 @@ func (e *Engine) ApplyBatchParallel(updates []dyndb.Update, workers int) (applie
 				e.updateAtomScratch(op.c, op.a, op.tuple, op.insert, e.scratchVals, e.scratchItems)
 			}
 		}
-		return applied, nil
+		return
 	}
 
 	// Worker phase: buckets are claimed off a shared counter so a few
@@ -130,5 +143,4 @@ func (e *Engine) ApplyBatchParallel(updates []dyndb.Update, workers int) (applie
 		}()
 	}
 	wg.Wait()
-	return applied, nil
 }

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"dyncq/internal/cq"
+	"dyncq/internal/dyndb"
+)
+
+// This file implements the engine's shared-store mode, the core half of
+// the workspace front door (pkg/dyncq.Workspace): one dyndb.Database is
+// owned by the workspace and shared by every registered query, so the
+// store is mutated once per batch no matter how many queries are live.
+// An engine built with NewOnStore therefore never writes to e.db — the
+// workspace applies the net delta to the store and hands the same delta
+// to the engine, which only maintains its view structure (items, lists,
+// counters). The self-driving entry points Apply/ApplyBatch/
+// ApplyBatchParallel/Load refuse to run in this mode: they would mutate
+// the shared store a second time.
+
+// errSharedStore is returned by the self-driving entry points of an
+// engine bound to an external store.
+var errSharedStore = errors.New("core: engine is bound to a shared store; updates are driven by its workspace")
+
+// NewOnStore compiles the query into an engine bound to an externally
+// owned store. The engine starts with an empty view structure: if store
+// is already non-empty, call RebuildFromStore to run the preprocessing
+// phase over it. Sharding semantics match NewSharded.
+func NewOnStore(q *cq.Query, shards int, store *dyndb.Database) (*Engine, error) {
+	e, err := NewSharded(q, shards)
+	if err != nil {
+		return nil, err
+	}
+	e.db = store
+	e.extStore = true
+	return e, nil
+}
+
+// ApplySharedUpdate runs the Section 6.4 update procedure for one
+// command that the workspace has already validated against the query
+// schema and applied to the shared store (so it is known to have changed
+// the database). This is the single-update fast path of the workspace:
+// no batch bookkeeping, no allocation.
+func (e *Engine) ApplySharedUpdate(u dyndb.Update) {
+	e.version++
+	insert := u.Op == dyndb.OpInsert
+	for _, ref := range e.rels[u.Rel] {
+		e.updateAtom(ref, u.Tuple, insert)
+	}
+}
+
+// ApplySharedDelta runs the update procedures for a net delta the
+// workspace applied to the shared store: survivors must be coalesced,
+// schema-validated commands each of which changed the database. With
+// workers > 1 on a sharded engine the per-atom operations run on worker
+// goroutines exactly as in ApplyBatchParallel (same deterministic
+// result); otherwise they run sequentially in delta order, which on an
+// unsharded engine reproduces the canonical enumeration order of the
+// sequential batch path. The version advances at most once per delta.
+func (e *Engine) ApplySharedDelta(survivors []dyndb.Update, workers int) {
+	if len(survivors) == 0 {
+		return
+	}
+	e.version++
+	if workers > 1 && e.shardCount > 1 && len(e.comps) > 0 {
+		e.runDeltaParallel(survivors, workers)
+		return
+	}
+	for _, u := range survivors {
+		insert := u.Op == dyndb.OpInsert
+		for _, ref := range e.rels[u.Rel] {
+			e.updateAtom(ref, u.Tuple, insert)
+		}
+	}
+}
+
+// RebuildFromStore discards the view structure and runs the bulk
+// preprocessing phase (one counting pass + one bottom-up weight pass,
+// see loadBulk) over the shared store's current contents. The workspace
+// calls this after replacing the store's contents (Load) and when a
+// query registers against an already-populated store. A schema clash
+// (a store relation whose arity contradicts the query) fails with the
+// structure cleared — the engine then represents the empty result, and
+// the workspace is expected to resolve the clash before retrying.
+func (e *Engine) RebuildFromStore() error {
+	e.clearStructure()
+	e.version++
+	for _, rel := range e.db.Relations() {
+		r := e.db.Relation(rel)
+		if want, ok := e.schema[rel]; ok && want != r.Arity() {
+			e.clearStructure()
+			return fmt.Errorf("core: %s has arity %d in query, %d in the shared store", rel, want, r.Arity())
+		}
+		refs := e.rels[rel]
+		if len(refs) == 0 {
+			continue
+		}
+		r.Each(func(t []Value) bool {
+			for _, ref := range refs {
+				e.countAtom(ref, t)
+			}
+			return true
+		})
+	}
+	var scratch []listEntry
+	for _, c := range e.comps {
+		for si := range c.shards {
+			e.buildWeights(c, &c.shards[si])
+			scratch = sortLists(c, &c.shards[si], scratch)
+		}
+	}
+	return nil
+}
+
+// ClearStructure discards the view structure without touching the
+// store, leaving the engine representing the empty database. The
+// workspace uses it when a failed Load empties the shared store.
+func (e *Engine) ClearStructure() {
+	e.clearStructure()
+	e.version++
+}

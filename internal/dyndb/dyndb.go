@@ -112,6 +112,10 @@ type Database struct {
 	adom     map[Value]int
 	adomSize int
 	card     int // |D|: total number of tuples
+	// muts counts successful mutations (inserts + deletes that changed the
+	// database) over the store's lifetime — the quantity the workspace
+	// layer's "shared store applied once per batch" claim is measured in.
+	muts uint64
 }
 
 // New returns an empty database with no declared relations.
@@ -166,6 +170,7 @@ func (d *Database) Insert(rel string, tuple ...Value) (bool, error) {
 	stored := append([]Value(nil), tuple...)
 	r.tuples.Put(stored, struct{}{})
 	d.card++
+	d.muts++
 	for _, v := range stored {
 		d.adom[v]++
 		if d.adom[v] == 1 {
@@ -189,6 +194,7 @@ func (d *Database) Delete(rel string, tuple ...Value) (bool, error) {
 		return false, nil
 	}
 	d.card--
+	d.muts++
 	for _, v := range tuple {
 		d.adom[v]--
 		if d.adom[v] == 0 {
@@ -197,6 +203,90 @@ func (d *Database) Delete(rel string, tuple ...Value) (bool, error) {
 		}
 	}
 	return true, nil
+}
+
+// Mutations returns the number of successful mutations (inserts and
+// deletes that changed the database) over the store's lifetime. Clear
+// does not reset it, so the counter measures work done on the store
+// regardless of Load cycles — the quantity behind the workspace layer's
+// "shared store applied once per batch, independent of the number of
+// registered queries" guarantee.
+func (d *Database) Mutations() uint64 { return d.muts }
+
+// Clear drops every relation (declarations included), returning the
+// database to the empty state in place. Unlike assigning a fresh New(),
+// Clear keeps the *Database pointer valid for every structure holding a
+// reference to it — the shared-store contract of the workspace layer.
+// The mutation counter is preserved.
+func (d *Database) Clear() {
+	d.rels = make(map[string]*Relation)
+	d.adom = make(map[Value]int)
+	d.adomSize = 0
+	d.card = 0
+}
+
+// CopyFrom inserts every tuple of src into d, declaring src's relations
+// (including empty ones). It fails on an arity clash with a relation
+// already declared in d; on a cleared or fresh database it cannot fail.
+func (d *Database) CopyFrom(src *Database) error {
+	for _, name := range src.Relations() {
+		r := src.Relation(name)
+		if err := d.EnsureRelation(name, r.Arity()); err != nil {
+			return err
+		}
+		var insErr error
+		r.Each(func(t []Value) bool {
+			if _, err := d.Insert(name, t...); err != nil {
+				insErr = err
+				return false
+			}
+			return true
+		})
+		if insErr != nil {
+			return insErr
+		}
+	}
+	return nil
+}
+
+// NetDelta coalesces a batch and returns the subset of net commands that
+// would actually change the database — the net delta a shared-store
+// front door applies once and fans out to every registered query's
+// maintenance structure, instead of each backend re-deriving it against
+// a private copy. Commands keep their coalesced order. The check is
+// stateless with respect to application order: coalescing leaves at most
+// one command per (relation, tuple) pair and commands on distinct tuples
+// are independent, so a command's effect against the pre-state equals
+// its effect at its turn in any serial application of the delta.
+//
+// Arities are validated against d's declared relations and against the
+// other commands of the batch (a batch that first declares a new
+// relation must use it consistently), so a returned delta applies to d
+// without errors. d is not modified.
+func (d *Database) NetDelta(updates []Update) ([]Update, error) {
+	net := Coalesce(updates)
+	fresh := make(map[string]int) // relations the batch itself would declare
+	out := net[:0]
+	for _, u := range net {
+		if r := d.rels[u.Rel]; r != nil {
+			if r.arity != len(u.Tuple) {
+				return nil, fmt.Errorf("%s %s: tuple arity %d, relation arity %d", u.Op, u.Rel, len(u.Tuple), r.arity)
+			}
+			if (u.Op == OpInsert) != r.Has(u.Tuple) {
+				out = append(out, u)
+			}
+			continue
+		}
+		if want, ok := fresh[u.Rel]; ok && want != len(u.Tuple) {
+			return nil, fmt.Errorf("%s %s: tuple arity %d, relation arity %d earlier in the batch", u.Op, u.Rel, len(u.Tuple), want)
+		}
+		if u.Op == OpDelete {
+			continue // deleting from an undeclared relation is a no-op
+		}
+		fresh[u.Rel] = len(u.Tuple)
+		out = append(out, u)
+	}
+	return out, nil
 }
 
 // Apply executes an update command, reporting whether the database

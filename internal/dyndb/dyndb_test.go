@@ -342,3 +342,115 @@ func TestPartition(t *testing.T) {
 		t.Fatalf("Partition(_, 1) = %d shards of %d commands", len(one), len(one[0]))
 	}
 }
+
+func TestNetDelta(t *testing.T) {
+	db := New()
+	for _, u := range []Update{Insert("E", 1, 2), Insert("T", 2)} {
+		if _, err := db.Apply(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Coalescing: insert+delete on one tuple cancels to the last command;
+	// no-ops against the store are dropped; deletes from undeclared
+	// relations are dropped.
+	net, err := db.NetDelta([]Update{
+		Insert("E", 3, 4), // survives (new tuple)
+		Delete("E", 3, 4), // coalesces over the insert, then no-ops (absent pre-state)
+		Insert("E", 1, 2), // no-op: already present
+		Delete("T", 2),    // survives
+		Delete("X", 7),    // undeclared relation: no-op
+		Insert("F", 1),    // survives, declares F within the batch
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Update{Delete("T", 2), Insert("F", 1)}
+	if len(net) != len(want) {
+		t.Fatalf("net delta %v, want %v", net, want)
+	}
+	for i := range want {
+		if net[i].Op != want[i].Op || net[i].Rel != want[i].Rel {
+			t.Fatalf("net delta %v, want %v", net, want)
+		}
+	}
+	// The store was not modified.
+	if !db.Has("E", 1, 2) || !db.Has("T", 2) || db.Cardinality() != 2 {
+		t.Fatal("NetDelta modified the database")
+	}
+
+	// Arity validation: against declared relations…
+	if _, err := db.NetDelta([]Update{Insert("E", 1)}); err == nil {
+		t.Fatal("arity clash against a declared relation accepted")
+	}
+	if _, err := db.NetDelta([]Update{Delete("E", 1)}); err == nil {
+		t.Fatal("delete arity clash against a declared relation accepted")
+	}
+	// …and within the batch for relations the batch itself declares.
+	if _, err := db.NetDelta([]Update{Insert("G", 1), Insert("G", 1, 2)}); err == nil {
+		t.Fatal("intra-batch arity clash accepted")
+	}
+}
+
+func TestMutationsAndClear(t *testing.T) {
+	db := New()
+	if db.Mutations() != 0 {
+		t.Fatalf("fresh store has %d mutations", db.Mutations())
+	}
+	if _, err := db.Insert("E", 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Insert("E", 1, 2); err != nil { // set-semantics no-op
+		t.Fatal(err)
+	}
+	if _, err := db.Delete("E", 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Mutations(); got != 2 {
+		t.Fatalf("mutations = %d, want 2 (no-ops do not count)", got)
+	}
+	if _, err := db.Insert("E", 3, 4); err != nil {
+		t.Fatal(err)
+	}
+	db.Clear()
+	if db.Cardinality() != 0 || db.ActiveDomainSize() != 0 || len(db.Relations()) != 0 {
+		t.Fatal("Clear left state behind")
+	}
+	if got := db.Mutations(); got != 3 {
+		t.Fatalf("mutations = %d after Clear, want 3 (lifetime counter survives)", got)
+	}
+	// Clear keeps the pointer usable and forgets declarations: E can be
+	// redeclared with a different arity.
+	if _, err := db.Insert("E", 1); err != nil {
+		t.Fatalf("unary E after Clear: %v", err)
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	src := New()
+	if err := src.EnsureRelation("EMPTY", 3); err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range []Update{Insert("E", 1, 2), Insert("T", 2)} {
+		if _, err := src.Apply(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dst := New()
+	if err := dst.CopyFrom(src); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Cardinality() != 2 || !dst.Has("E", 1, 2) || !dst.Has("T", 2) {
+		t.Fatal("CopyFrom missed tuples")
+	}
+	if dst.Relation("EMPTY") == nil || dst.Relation("EMPTY").Arity() != 3 {
+		t.Fatal("CopyFrom dropped the empty relation's declaration")
+	}
+	// Arity clash with an existing declaration fails.
+	bad := New()
+	if _, err := bad.Insert("E", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := bad.CopyFrom(src); err == nil {
+		t.Fatal("CopyFrom over a conflicting declaration accepted")
+	}
+}

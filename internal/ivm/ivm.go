@@ -48,6 +48,16 @@ type Maintainer struct {
 	occ     map[string][]int
 	schema  map[string]int
 	version uint64
+	// shared marks a maintainer bound to an externally owned store
+	// (NewOnStore): m.db and m.idx belong to the workspace, which applies
+	// updates to them exactly once and drives the delta propagation
+	// through the *Shared hooks. The self-driving entry points refuse to
+	// run in this mode.
+	shared bool
+	// rebuildPending is set by BeginSharedBatch when the batch is large
+	// enough that one full re-evaluation beats per-relation delta joins;
+	// the delta hooks then no-op and FinishSharedBatch rebuilds.
+	rebuildPending bool
 }
 
 // New returns a maintainer for q over the empty database. Any valid CQ is
@@ -87,6 +97,9 @@ func (m *Maintainer) Delete(rel string, tuple ...Value) (bool, error) {
 // materialised result. Cost: the residual joins N_S (data-dependent; this
 // is the baseline the engine's O(1) is compared against).
 func (m *Maintainer) Apply(u dyndb.Update) (bool, error) {
+	if m.shared {
+		return false, errSharedStore
+	}
 	if want, ok := m.schema[u.Rel]; ok && want != len(u.Tuple) {
 		return false, fmt.Errorf("ivm: %s has arity %d in query, got tuple of length %d", u.Rel, want, len(u.Tuple))
 	}
@@ -139,6 +152,9 @@ func (m *Maintainer) ApplyAll(updates []dyndb.Update) error {
 // changed the database. Arity-against-schema errors are detected before
 // anything is applied, so such a batch is rejected atomically.
 func (m *Maintainer) ApplyBatch(updates []dyndb.Update) (int, error) {
+	if m.shared {
+		return 0, errSharedStore
+	}
 	type relDelta struct {
 		dels, ins [][]Value
 	}
@@ -243,6 +259,9 @@ func (m *Maintainer) ApplyBatch(updates []dyndb.Update) (int, error) {
 // arity) leaves the maintainer representing the EMPTY database; either
 // way the prior state is discarded and the version advances.
 func (m *Maintainer) Load(db *dyndb.Database) error {
+	if m.shared {
+		return errSharedStore
+	}
 	for _, rel := range db.Relations() {
 		if want, ok := m.schema[rel]; ok && want != db.Relation(rel).Arity() {
 			m.Reset(dyndb.New())

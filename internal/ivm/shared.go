@@ -1,0 +1,140 @@
+package ivm
+
+import (
+	"errors"
+	"fmt"
+
+	"dyncq/internal/cq"
+	"dyncq/internal/dyndb"
+	"dyncq/internal/eval"
+)
+
+// This file implements the maintainer's shared-store mode, the IVM half
+// of the workspace front door (pkg/dyncq.Workspace): the store and its
+// eval.IndexSet are owned by the workspace and shared by every
+// registered query, so both are mutated once per batch regardless of
+// how many IVM-backed queries are live. Delta processing needs the
+// store in a specific state relative to each relation's mutation —
+// deletion deltas are evaluated on the pre-state, insertion deltas on
+// the post-state — so the workspace drives the maintainer through
+// per-relation hooks interleaved with the store mutation:
+//
+//	BeginSharedBatch(survivors)            // crossover decision
+//	for each relation of the net delta:
+//	    PreDeleteShared(rel, dels)         // store still pre-state here
+//	    <workspace deletes dels, updates the index>
+//	    <workspace inserts ins, updates the index>
+//	    PostInsertShared(rel, ins)         // store post-state here
+//	FinishSharedBatch()                    // rebuild if crossover chose it
+//
+// This is exactly the relation-phased schedule of ApplyBatch, so the
+// maintained multiplicities are identical to a private-store maintainer
+// replaying the same stream.
+
+// errSharedStore is returned by the self-driving entry points of a
+// maintainer bound to an external store.
+var errSharedStore = errors.New("ivm: maintainer is bound to a shared store; updates are driven by its workspace")
+
+// NewOnStore returns a maintainer for q bound to an externally owned
+// store and index set (idx must be over store). The maintainer starts
+// with an empty materialised result: if store is already non-empty, call
+// RebuildShared to evaluate over it.
+func NewOnStore(q *cq.Query, store *dyndb.Database, idx *eval.IndexSet) (*Maintainer, error) {
+	m, err := New(q)
+	if err != nil {
+		return nil, err
+	}
+	m.db = store
+	m.idx = idx
+	m.shared = true
+	return m, nil
+}
+
+// BeginSharedBatch opens a batch of the given net-delta size (commands
+// that will change the store). It applies the same crossover heuristic
+// as ApplyBatch: once the delta is a third or more of the resulting
+// database, |delta| residual joins cost more than one full
+// re-evaluation, so the per-relation hooks no-op and FinishSharedBatch
+// rebuilds from the post-state store.
+func (m *Maintainer) BeginSharedBatch(survivors int) {
+	m.rebuildPending = survivors*3 >= m.db.Cardinality()+survivors
+	m.version++
+}
+
+// PreDeleteShared propagates the deletion delta of one relation,
+// evaluated on the pre-state: the workspace must call it BEFORE deleting
+// the tuples from the shared store. Every tuple must currently be
+// present (the workspace's net-delta filter guarantees it).
+func (m *Maintainer) PreDeleteShared(rel string, tuples [][]Value) {
+	if m.rebuildPending || len(tuples) == 0 {
+		return
+	}
+	occs := m.occ[rel]
+	if len(occs) == 0 {
+		return
+	}
+	if len(tuples) == 1 {
+		// Single-tuple deltas take the pinned-atom path: substituting the
+		// constants beats scanning a restriction set of size one.
+		m.applyDelta(occs, tuples[0], -1)
+		return
+	}
+	m.applyDeltaSet(occs, tuples, -1)
+}
+
+// PostInsertShared propagates the insertion delta of one relation,
+// evaluated on the post-state: the workspace must call it AFTER
+// inserting the tuples into the shared store (and its index).
+func (m *Maintainer) PostInsertShared(rel string, tuples [][]Value) {
+	if m.rebuildPending || len(tuples) == 0 {
+		return
+	}
+	occs := m.occ[rel]
+	if len(occs) == 0 {
+		return
+	}
+	if len(tuples) == 1 {
+		m.applyDelta(occs, tuples[0], +1)
+		return
+	}
+	m.applyDeltaSet(occs, tuples, +1)
+}
+
+// FinishSharedBatch closes the batch opened by BeginSharedBatch: if the
+// crossover chose a rebuild, the materialised result is recomputed with
+// one full evaluation over the (now post-state) shared store.
+func (m *Maintainer) FinishSharedBatch() {
+	if !m.rebuildPending {
+		return
+	}
+	m.rebuildPending = false
+	m.result = eval.CountValuations(m.query, m.db, nil, m.idx)
+}
+
+// RebuildShared rebinds the maintainer to idx (the workspace recreates
+// the index set when it replaces the store's contents) and recomputes
+// the materialised result with one full evaluation over the shared
+// store. A schema clash (a store relation whose arity contradicts the
+// query) fails with the result cleared.
+func (m *Maintainer) RebuildShared(idx *eval.IndexSet) error {
+	m.idx = idx
+	m.version++
+	for _, rel := range m.db.Relations() {
+		if want, ok := m.schema[rel]; ok && want != m.db.Relation(rel).Arity() {
+			m.result = make(map[string]int64)
+			return fmt.Errorf("ivm: %s has arity %d in query, %d in the shared store", rel, want, m.db.Relation(rel).Arity())
+		}
+	}
+	m.result = eval.CountValuations(m.query, m.db, nil, m.idx)
+	return nil
+}
+
+// ClearShared discards the materialised result and rebinds to idx,
+// leaving the maintainer representing the empty database. The workspace
+// uses it when a failed Load empties the shared store.
+func (m *Maintainer) ClearShared(idx *eval.IndexSet) {
+	m.idx = idx
+	m.result = make(map[string]int64)
+	m.rebuildPending = false
+	m.version++
+}

@@ -7,36 +7,23 @@ import (
 	"dyncq/internal/dyndb"
 )
 
-// This file implements the concurrent front door of the session layer:
-// a ConcurrentSession serialises all structural commits behind a
-// sync.RWMutex — so any number of goroutines may submit updates and read
-// results — and, on the core backend, applies each batch's shard-disjoint
-// deltas on parallel worker goroutines (core.Engine.ApplyBatchParallel).
+// This file implements the concurrent single-query compatibility
+// wrapper. A ConcurrentSession is a Workspace with exactly one
+// registered query behind one extra lock layer: writers (Insert,
+// Delete, Apply, ApplyBatch, ApplyBatched, Load) serialise behind the
+// write lock, so exactly one batch is in flight at a time and each
+// commits atomically; readers (Count, Answer, Enumerate, Tuples, View,
+// …) take the read lock, run concurrently with each other, and always
+// observe the state after some whole prefix of the committed batch
+// sequence, never a torn mid-batch state. On the core backend with
+// Workers > 1 each batch's shard-disjoint deltas are applied on
+// parallel worker goroutines (core.Engine's sharded delta path, driven
+// by the workspace).
 //
-// The concurrency model, in one paragraph: writers (Insert, Delete,
-// Apply, ApplyBatch, ApplyBatched, Load) take the write lock, so exactly
-// one batch is in flight at a time and each commits atomically; readers
-// (Count, Answer, Enumerate, Tuples, View, …) take the read lock, run
-// concurrently with each other, and are excluded only while a write
-// holds the lock — a reader therefore always observes the state after
-// some whole prefix of the committed batch sequence, never a torn
-// mid-batch state. Version() counts committed state changes (the
-// session-level analogue of the version counter core.Engine bumps per
-// batch to invalidate iterators); View hands a callback the pinned
-// version together with locked access, so multi-call reads (count +
-// enumerate, say) are snapshot-consistent.
-
-// parallelBatcher is implemented by backends whose ApplyBatch can fan
-// shard-disjoint work out to worker goroutines (core.Engine). The other
-// backends degrade gracefully to their sequential batch path — for IVM
-// and recompute the cross-relation residual joins prevent sharding, so
-// there is nothing disjoint to hand to workers. Shards reports the
-// backend's shard count: on an unsharded backend ApplyBatchParallel is
-// the sequential path, and Parallel() must say so.
-type parallelBatcher interface {
-	ApplyBatchParallel([]dyndb.Update, int) (int, error)
-	Shards() int
-}
+// New code sharing SEVERAL queries across goroutines should use
+// Workspace directly — it has the same concurrency model (its own
+// RWMutex, atomic commits, snapshot View) and shares one store across
+// all queries instead of one store per session.
 
 // ConcurrentOptions configures NewConcurrent.
 type ConcurrentOptions struct {
@@ -59,7 +46,6 @@ type ConcurrentSession struct {
 	mu      sync.RWMutex
 	s       *Session
 	workers int
-	version uint64
 }
 
 // NewConcurrent builds a concurrency-safe session for q. Routing follows
@@ -72,11 +58,12 @@ func NewConcurrent(q *cq.Query, opt ConcurrentOptions) (*ConcurrentSession, erro
 	if shards == 0 && opt.Workers > 1 {
 		shards = 4 * opt.Workers
 	}
-	s, err := NewWithOptions(q, Options{Force: opt.Force, Shards: shards})
+	ws := NewWorkspace(WorkspaceOptions{Workers: opt.Workers})
+	h, err := ws.RegisterQuery(sessionQueryName, q, Options{Force: opt.Force, Shards: shards})
 	if err != nil {
 		return nil, err
 	}
-	return &ConcurrentSession{s: s, workers: opt.Workers}, nil
+	return &ConcurrentSession{s: &Session{ws: ws, h: h}, workers: opt.Workers}, nil
 }
 
 // OpenConcurrent parses the query text and builds an auto-routed
@@ -103,8 +90,7 @@ func (c *ConcurrentSession) Workers() int { return c.workers }
 // workers (core backend, Workers > 1, more than one shard) or through
 // the sequential pipeline under the lock.
 func (c *ConcurrentSession) Parallel() bool {
-	pb, ok := c.s.back.(parallelBatcher)
-	return ok && c.workers > 1 && pb.Shards() > 1
+	return c.workers > 1 && c.s.h.back.shards() > 1
 }
 
 // Version returns the number of committed state changes (every Load
@@ -114,7 +100,7 @@ func (c *ConcurrentSession) Parallel() bool {
 func (c *ConcurrentSession) Version() uint64 {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	return c.version
+	return c.s.ws.Version()
 }
 
 // Insert applies one insertion, atomically with respect to readers.
@@ -131,11 +117,7 @@ func (c *ConcurrentSession) Delete(rel string, tuple ...Value) (bool, error) {
 func (c *ConcurrentSession) Apply(u Update) (bool, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	changed, err := c.s.Apply(u)
-	if changed {
-		c.version++
-	}
-	return changed, err
+	return c.s.Apply(u)
 }
 
 // ApplyBatch executes a batch atomically: readers observe either the
@@ -147,45 +129,14 @@ func (c *ConcurrentSession) Apply(u Update) (bool, error) {
 func (c *ConcurrentSession) ApplyBatch(updates []Update) (int, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.applyBatchLocked(updates)
-}
-
-func (c *ConcurrentSession) applyBatchLocked(updates []Update) (int, error) {
-	var (
-		n   int
-		err error
-	)
-	if pb, ok := c.s.back.(parallelBatcher); ok && c.workers > 1 {
-		n, err = pb.ApplyBatchParallel(updates, c.workers)
-	} else {
-		n, err = c.s.ApplyBatch(updates)
-	}
-	if n > 0 {
-		c.version++
-	}
-	return n, err
+	return c.s.ApplyBatch(updates)
 }
 
 // ApplyBatched splits the updates into chunks of batchSize and commits
 // each chunk atomically (readers may observe the state between chunks —
 // each chunk is one version). batchSize <= 0 applies one batch.
 func (c *ConcurrentSession) ApplyBatched(updates []Update, batchSize int) (int, error) {
-	if batchSize <= 0 {
-		return c.ApplyBatch(updates)
-	}
-	applied := 0
-	for from := 0; from < len(updates); from += batchSize {
-		to := from + batchSize
-		if to > len(updates) {
-			to = len(updates)
-		}
-		n, err := c.ApplyBatch(updates[from:to])
-		applied += n
-		if err != nil {
-			return applied, err
-		}
-	}
-	return applied, nil
+	return applyInChunks(updates, batchSize, c.ApplyBatch)
 }
 
 // Load performs the preprocessing phase under the write lock, with the
@@ -195,9 +146,7 @@ func (c *ConcurrentSession) ApplyBatched(updates []Update, batchSize int) (int, 
 func (c *ConcurrentSession) Load(db *Database) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	err := c.s.Load(db)
-	c.version++
-	return err
+	return c.s.Load(db)
 }
 
 // Count returns |ϕ(D)| for the latest committed state.
@@ -258,5 +207,5 @@ func (c *ConcurrentSession) ActiveDomainSize() int {
 func (c *ConcurrentSession) View(f func(s *Session, version uint64)) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	f(c.s, c.version)
+	f(c.s, c.s.ws.Version())
 }

@@ -1,6 +1,8 @@
-// Package dyncq is the front door of the repository: a session layer that
-// accepts any conjunctive query, classifies it via internal/qtree, and
-// routes it to the best maintenance strategy the theory allows:
+// Package dyncq is the front door of the repository: a workspace layer
+// in which ONE shared dynamic database serves any number of registered
+// live queries over a common update stream (Workspace / Handle), each
+// query classified via internal/qtree and routed to the best
+// maintenance strategy the theory allows:
 //
 //   - q-hierarchical queries go to internal/core.Engine, the paper's
 //     Section 6 structure with O(1) update time, O(1) counting and
@@ -12,18 +14,21 @@
 //   - a recompute-from-scratch strategy over internal/eval is available
 //     for benchmarking and as a correctness oracle.
 //
-// All strategies expose one uniform API: Insert/Delete/Apply/ApplyAll,
-// Count, Answer, Enumerate, Tuples. Strategy() and Classification() let
-// callers introspect the routing decision.
+// Every batch is coalesced once, applied to the shared store once, and
+// the net delta fanned out to every registered query's maintenance
+// structure — the store mutation count is independent of how many
+// queries are live. All strategies expose one uniform read API: Count,
+// Answer, Enumerate, Tuples; Strategy() and Classification() let
+// callers introspect the routing decision. Session (one query, single
+// goroutine) and ConcurrentSession (one query, locked) are thin
+// compatibility wrappers over a single-query Workspace.
 package dyncq
 
 import (
 	"fmt"
 
-	"dyncq/internal/core"
 	"dyncq/internal/cq"
 	"dyncq/internal/dyndb"
-	"dyncq/internal/ivm"
 	"dyncq/internal/qtree"
 )
 
@@ -113,19 +118,8 @@ func ParseStrategy(name string) (Strategy, error) {
 	}
 }
 
-// backend is the uniform interface every strategy implements.
-type backend interface {
-	Apply(dyndb.Update) (bool, error)
-	ApplyBatch([]dyndb.Update) (int, error)
-	Load(*dyndb.Database) error
-	Count() uint64
-	Answer() bool
-	Enumerate(yield func(tuple []Value) bool)
-	Cardinality() int
-	ActiveDomainSize() int
-}
-
-// Options configures session construction.
+// Options configures per-query construction (Workspace.RegisterQuery
+// and the Session compatibility wrapper).
 type Options struct {
 	// Force pins the backend instead of routing by classification.
 	// StrategyAuto (the zero value) means: classify and choose. Forcing
@@ -143,15 +137,20 @@ type Options struct {
 
 // Session maintains the result of one conjunctive query under updates
 // behind whichever strategy the classification (or Options.Force)
-// selected. A Session is not safe for concurrent use; wrap it in a
-// ConcurrentSession (NewConcurrent) to share one maintained query across
-// goroutines.
+// selected. It is a thin compatibility wrapper over a private Workspace
+// with exactly one registered query — new code serving several queries
+// over one update stream should use Workspace directly, which shares
+// the store instead of duplicating it per query. A Session is not safe
+// for concurrent use; wrap it in a ConcurrentSession (NewConcurrent),
+// or use a Workspace, to share maintained queries across goroutines.
 type Session struct {
-	query    *cq.Query
-	class    qtree.Classification
-	strategy Strategy
-	back     backend
+	ws *Workspace
+	h  *Handle
 }
+
+// sessionQueryName is the registration name of a Session's single query
+// inside its private workspace.
+const sessionQueryName = "q"
 
 // New builds a session for q over the empty database, routing by
 // classification: core for q-hierarchical queries, IVM otherwise.
@@ -161,39 +160,25 @@ func New(q *cq.Query) (*Session, error) {
 
 // NewWithOptions builds a session with explicit options.
 func NewWithOptions(q *cq.Query, opt Options) (*Session, error) {
-	if err := q.Validate(); err != nil {
-		return nil, fmt.Errorf("dyncq: %w", err)
-	}
-	s := &Session{query: q, class: qtree.Classify(q)}
-	strategy := opt.Force
-	if strategy == StrategyAuto {
-		if s.class.QHierarchical {
-			strategy = StrategyCore
-		} else {
-			strategy = StrategyIVM
-		}
-	}
-	var err error
-	switch strategy {
-	case StrategyCore:
-		shards := opt.Shards
-		if shards < 1 {
-			shards = 1
-		}
-		s.back, err = core.NewSharded(q, shards)
-	case StrategyIVM:
-		s.back, err = ivm.New(q)
-	case StrategyRecompute:
-		s.back, err = newRecompute(q)
-	default:
-		err = fmt.Errorf("invalid strategy %v", strategy)
-	}
+	ws := NewWorkspace(WorkspaceOptions{})
+	h, err := ws.RegisterQuery(sessionQueryName, q, opt)
 	if err != nil {
-		return nil, fmt.Errorf("dyncq: %w", err)
+		return nil, err
 	}
-	s.strategy = strategy
-	return s, nil
+	return &Session{ws: ws, h: h}, nil
 }
+
+// Workspace returns the workspace backing this session — the migration
+// path for callers outgrowing the single-query API: register more
+// queries on it and they share the session's store and update stream.
+// The session's own methods bypass the workspace lock (a Session is
+// single-goroutine by contract), so once the returned workspace is
+// shared across goroutines, all concurrent access must go through the
+// workspace and its handles, not through this Session.
+func (s *Session) Workspace() *Workspace { return s.ws }
+
+// Handle returns the session's query handle inside its workspace.
+func (s *Session) Handle() *Handle { return s.h }
 
 // Open parses the query text (see cq.Parse for the syntax) and builds an
 // auto-routed session — the one-call entry point used by the CLI.
@@ -206,37 +191,37 @@ func Open(text string) (*Session, error) {
 }
 
 // Query returns the maintained query.
-func (s *Session) Query() *cq.Query { return s.query }
+func (s *Session) Query() *cq.Query { return s.h.query }
 
 // Strategy returns the backend actually serving this session (never
 // StrategyAuto).
-func (s *Session) Strategy() Strategy { return s.strategy }
+func (s *Session) Strategy() Strategy { return s.h.strategy }
 
 // Classification returns the full taxonomy verdict computed at
 // construction time.
-func (s *Session) Classification() qtree.Classification { return s.class }
+func (s *Session) Classification() qtree.Classification { return s.h.class }
 
 // Insert applies "insert R(a1,…,ar)", reporting whether the database
 // changed (set semantics).
 func (s *Session) Insert(rel string, tuple ...Value) (bool, error) {
-	return s.back.Apply(dyndb.Insert(rel, tuple...))
+	return s.ws.applyExclusive(dyndb.Insert(rel, tuple...))
 }
 
 // Delete applies "delete R(a1,…,ar)", reporting whether the database
 // changed.
 func (s *Session) Delete(rel string, tuple ...Value) (bool, error) {
-	return s.back.Apply(dyndb.Delete(rel, tuple...))
+	return s.ws.applyExclusive(dyndb.Delete(rel, tuple...))
 }
 
 // Apply executes one update command.
-func (s *Session) Apply(u Update) (bool, error) { return s.back.Apply(u) }
+func (s *Session) Apply(u Update) (bool, error) { return s.ws.applyExclusive(u) }
 
 // ApplyAll executes a sequence of updates one at a time, stopping at the
 // first error. For bulk work prefer ApplyBatch, which lets the backend
 // coalesce the batch and amortise its maintenance cost.
 func (s *Session) ApplyAll(updates []Update) error {
 	for _, u := range updates {
-		if _, err := s.back.Apply(u); err != nil {
+		if _, err := s.ws.applyExclusive(u); err != nil {
 			return err
 		}
 	}
@@ -253,7 +238,7 @@ func (s *Session) ApplyAll(updates []Update) error {
 // recompute to the next read). Returns the number of net commands that
 // changed the database.
 func (s *Session) ApplyBatch(updates []Update) (int, error) {
-	return s.back.ApplyBatch(updates)
+	return s.ws.applyBatchExclusive(updates)
 }
 
 // ApplyBatched splits the updates into chunks of batchSize and applies
@@ -261,8 +246,16 @@ func (s *Session) ApplyBatch(updates []Update) (int, error) {
 // that changed the database and stopping at the first error. batchSize
 // <= 0 applies everything as a single batch.
 func (s *Session) ApplyBatched(updates []Update, batchSize int) (int, error) {
+	return applyInChunks(updates, batchSize, s.ApplyBatch)
+}
+
+// applyInChunks is the shared chunking loop behind every ApplyBatched
+// (Session, ConcurrentSession, Workspace): split into batchSize chunks,
+// apply each, accumulate net changes, stop at the first error.
+// batchSize <= 0 applies everything as a single batch.
+func applyInChunks(updates []Update, batchSize int, apply func([]Update) (int, error)) (int, error) {
 	if batchSize <= 0 {
-		return s.ApplyBatch(updates)
+		return apply(updates)
 	}
 	applied := 0
 	for from := 0; from < len(updates); from += batchSize {
@@ -270,7 +263,7 @@ func (s *Session) ApplyBatched(updates []Update, batchSize int) (int, error) {
 		if to > len(updates) {
 			to = len(updates)
 		}
-		n, err := s.ApplyBatch(updates[from:to])
+		n, err := apply(updates[from:to])
 		applied += n
 		if err != nil {
 			return applied, err
@@ -291,13 +284,13 @@ func (s *Session) ApplyBatched(updates []Update, batchSize int) (int, error) {
 // Either way the prior state is discarded. To add a database's tuples
 // on top of the current state, feed db.Updates() through ApplyBatch
 // instead.
-func (s *Session) Load(db *dyndb.Database) error { return s.back.Load(db) }
+func (s *Session) Load(db *dyndb.Database) error { return s.ws.loadExclusive(db) }
 
 // Count returns |ϕ(D)|, the number of distinct result tuples.
-func (s *Session) Count() uint64 { return s.back.Count() }
+func (s *Session) Count() uint64 { return s.h.back.Count() }
 
 // Answer reports whether ϕ(D) is nonempty.
-func (s *Session) Answer() bool { return s.back.Answer() }
+func (s *Session) Answer() bool { return s.h.back.Answer() }
 
 // Enumerate calls yield for every result tuple until yield returns
 // false. For a Boolean query that holds, yield is called once with an
@@ -309,21 +302,14 @@ func (s *Session) Answer() bool { return s.back.Answer() }
 // retain tuples must copy them (Tuples does). Mutating the yielded slice
 // inside yield is harmless to the session's state but the mutation is
 // not preserved either.
-func (s *Session) Enumerate(yield func(tuple []Value) bool) { s.back.Enumerate(yield) }
+func (s *Session) Enumerate(yield func(tuple []Value) bool) { s.h.back.Enumerate(yield) }
 
 // Tuples returns the full result as freshly allocated tuples, in the
 // backend's enumeration order.
-func (s *Session) Tuples() [][]Value {
-	var out [][]Value
-	s.back.Enumerate(func(t []Value) bool {
-		out = append(out, append([]Value(nil), t...))
-		return true
-	})
-	return out
-}
+func (s *Session) Tuples() [][]Value { return collectTuples(s.h.back) }
 
 // Cardinality returns |D| of the maintained database.
-func (s *Session) Cardinality() int { return s.back.Cardinality() }
+func (s *Session) Cardinality() int { return s.ws.store.Cardinality() }
 
 // ActiveDomainSize returns n = |adom(D)|.
-func (s *Session) ActiveDomainSize() int { return s.back.ActiveDomainSize() }
+func (s *Session) ActiveDomainSize() int { return s.ws.store.ActiveDomainSize() }

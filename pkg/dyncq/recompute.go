@@ -8,74 +8,37 @@ import (
 	"dyncq/internal/eval"
 )
 
-// recompute is the recompute-from-scratch strategy: updates only touch
-// the stored database; Count, Answer and Enumerate re-evaluate the query
-// with internal/eval. Updates are as cheap as the database operation, but
-// every read pays full join cost — the static baseline the dynamic
-// strategies are measured against.
+// recompute is the recompute-from-scratch strategy: it keeps no state of
+// its own at all — the workspace owns the shared store, updates cost the
+// store mutation only, and Count, Answer and Enumerate re-evaluate the
+// query over the store with internal/eval. Updates are as cheap as the
+// database operation, but every read pays full join cost — the static
+// baseline the dynamic strategies are measured against.
 type recompute struct {
 	q      *cq.Query
-	db     *dyndb.Database
+	store  *dyndb.Database
 	schema map[string]int
 }
 
-func newRecompute(q *cq.Query) (*recompute, error) {
-	return &recompute{q: q, db: dyndb.New(), schema: q.Schema()}, nil
+// newRecomputeOn builds the strategy over the workspace's shared store.
+func newRecomputeOn(q *cq.Query, store *dyndb.Database) *recompute {
+	return &recompute{q: q, store: store, schema: q.Schema()}
 }
 
-func (r *recompute) Apply(u dyndb.Update) (bool, error) {
-	if want, ok := r.schema[u.Rel]; ok && want != len(u.Tuple) {
-		return false, fmt.Errorf("recompute: %s has arity %d in query, got tuple of length %d", u.Rel, want, len(u.Tuple))
-	}
-	return r.db.Apply(u)
-}
-
-// ApplyBatch applies the coalesced net commands to the stored database.
-// No view maintenance happens here at all — the strategy recomputes on
-// read, so a batch costs its database operations plus at most one
-// recompute at the next Count/Answer/Enumerate, however large it is.
-// Arity-against-schema errors reject the batch before any change, as in
-// the other backends.
-func (r *recompute) ApplyBatch(updates []dyndb.Update) (int, error) {
-	net := dyndb.Coalesce(updates)
-	for _, u := range net {
-		if want, ok := r.schema[u.Rel]; ok && want != len(u.Tuple) {
-			return 0, fmt.Errorf("recompute: %s has arity %d in query, got tuple of length %d", u.Rel, want, len(u.Tuple))
+// validate checks the shared store against the query schema — the
+// rebuild step of a strategy with no materialised state.
+func (r *recompute) validate() error {
+	for _, rel := range r.store.Relations() {
+		if want, ok := r.schema[rel]; ok && want != r.store.Relation(rel).Arity() {
+			return fmt.Errorf("recompute: %s has arity %d in query, %d in the shared store", rel, want, r.store.Relation(rel).Arity())
 		}
 	}
-	applied := 0
-	for _, u := range net {
-		changed, err := r.db.Apply(u)
-		if err != nil {
-			return applied, err
-		}
-		if changed {
-			applied++
-		}
-	}
-	return applied, nil
-}
-
-// Load adopts the initial database wholesale, with the uniform
-// reset-then-load contract: after Load the strategy stores exactly db,
-// discarding earlier updates (see pkg/dyncq.Session.Load). A failed
-// Load (a relation clashing with the query schema's arity) leaves the
-// strategy storing the EMPTY database; either way the prior state is
-// discarded.
-func (r *recompute) Load(db *dyndb.Database) error {
-	for _, rel := range db.Relations() {
-		if want, ok := r.schema[rel]; ok && want != db.Relation(rel).Arity() {
-			r.db = dyndb.New()
-			return fmt.Errorf("recompute: %s has arity %d in query, %d in the loaded database", rel, want, db.Relation(rel).Arity())
-		}
-	}
-	r.db = db.Clone()
 	return nil
 }
 
-func (r *recompute) Count() uint64 { return uint64(eval.Count(r.q, r.db)) }
+func (r *recompute) Count() uint64 { return uint64(eval.Count(r.q, r.store)) }
 
-func (r *recompute) Answer() bool { return eval.Answer(r.q, r.db) }
+func (r *recompute) Answer() bool { return eval.Answer(r.q, r.store) }
 
 // Enumerate re-evaluates the query and streams the result. The yielded
 // slice follows the uniform contract of Session.Enumerate (callee-owned,
@@ -83,9 +46,5 @@ func (r *recompute) Answer() bool { return eval.Answer(r.q, r.db) }
 // a throwaway result set today — callers must not rely on backend
 // accidents that are stronger than the contract.
 func (r *recompute) Enumerate(yield func(tuple []Value) bool) {
-	eval.Evaluate(r.q, r.db).Each(yield)
+	eval.Evaluate(r.q, r.store).Each(yield)
 }
-
-func (r *recompute) Cardinality() int { return r.db.Cardinality() }
-
-func (r *recompute) ActiveDomainSize() int { return r.db.ActiveDomainSize() }

@@ -1,0 +1,29 @@
+package dyncq
+
+import "testing"
+
+// Session.Enumerate must keep the pre-workspace reentrancy behaviour: a
+// yield that calls a Session writer must not deadlock (single-goroutine
+// sessions take no locks).
+func TestSessionEnumerateReentrantWriter(t *testing.T) {
+	s, err := Open("Q(y) :- E(x,y), T(y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Insert("E", 1, 2)
+	s.Insert("T", 2)
+	done := false
+	s.Enumerate(func(tu []Value) bool {
+		if _, err := s.Insert("E", 99, 100); err != nil { // writer inside yield: must not hang
+			t.Fatal(err)
+		}
+		done = true
+		return false // stop immediately; the structure may have shifted under us
+	})
+	if !done {
+		t.Fatal("enumeration yielded nothing")
+	}
+	if s.Cardinality() != 3 {
+		t.Fatalf("|D| = %d, want 3", s.Cardinality())
+	}
+}

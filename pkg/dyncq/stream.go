@@ -8,6 +8,7 @@ import (
 	"strings"
 	"unicode"
 
+	"dyncq/internal/dict"
 	"dyncq/internal/dyndb"
 )
 
@@ -28,6 +29,24 @@ import (
 
 // ParseUpdate parses one update command line.
 func ParseUpdate(line string) (Update, error) {
+	return parseUpdateWith(line, nil)
+}
+
+// ParseUpdateDict parses one update command line whose tuple entries are
+// arbitrary string constants (anything without a comma or parenthesis,
+// surrounding whitespace trimmed), encoding them through d — the
+// -strings mode of the CLI stream parser. Note "42" in dict mode is a
+// string constant, not the integer 42.
+func ParseUpdateDict(line string, d *dict.Dict) (Update, error) {
+	if d == nil {
+		return Update{}, fmt.Errorf("malformed update %q: nil dictionary for string mode", line)
+	}
+	return parseUpdateWith(line, d)
+}
+
+// parseUpdateWith parses one command, decoding tuple entries as int64
+// constants (d == nil) or as dictionary-encoded strings (d != nil).
+func parseUpdateWith(line string, d *dict.Dict) (Update, error) {
 	s := strings.TrimSpace(line)
 	if s == "" {
 		return Update{}, fmt.Errorf("malformed update %q: empty command (want [+|-]R(v1,…,vr))", line)
@@ -70,6 +89,10 @@ func ParseUpdate(line string) (Update, error) {
 			}
 			return Update{}, fmt.Errorf("malformed update %q: empty tuple entry %d", line, i+1)
 		}
+		if d != nil {
+			tuple = append(tuple, d.Encode(f))
+			continue
+		}
 		v, err := strconv.ParseInt(f, 10, 64)
 		if err != nil {
 			return Update{}, fmt.Errorf("malformed update %q: tuple entry %d (%q) is not an int64", line, i+1, f)
@@ -107,6 +130,7 @@ func validRelName(rel string) bool {
 type StreamReader struct {
 	sc   *bufio.Scanner
 	line int
+	dict *dict.Dict
 }
 
 // NewStreamReader returns a reader over r. Lines up to 16MiB are
@@ -116,6 +140,11 @@ func NewStreamReader(r io.Reader) *StreamReader {
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	return &StreamReader{sc: sc}
 }
+
+// UseDict switches the reader to string mode: tuple entries are parsed
+// as arbitrary string constants and encoded through d (ParseUpdateDict)
+// instead of int64 literals. Call it before the first Next.
+func (r *StreamReader) UseDict(d *dict.Dict) { r.dict = d }
 
 // Next returns the next update and its 1-based line number. At the end
 // of the stream it returns io.EOF; parse and read errors carry the line
@@ -127,7 +156,7 @@ func (r *StreamReader) Next() (Update, int, error) {
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		u, err := ParseUpdate(line)
+		u, err := parseUpdateWith(line, r.dict)
 		if err != nil {
 			return Update{}, r.line, fmt.Errorf("line %d: %w", r.line, err)
 		}
@@ -158,15 +187,16 @@ func ParseStream(r io.Reader) ([]Update, error) {
 	}
 }
 
-// streamApplier is the slice of the session API ApplyStream needs; both
-// *Session and *ConcurrentSession satisfy it.
+// streamApplier is the slice of the session API ApplyStream needs;
+// *Session, *ConcurrentSession and *Workspace all satisfy it (the
+// workspace's Schema is the union over its registered queries).
 type streamApplier interface {
 	Schema() map[string]int
 	ApplyBatch(updates []Update) (int, error)
 }
 
 // Schema returns the query's relation→arity map (see cq.Query.Schema).
-func (s *Session) Schema() map[string]int { return s.query.Schema() }
+func (s *Session) Schema() map[string]int { return s.h.query.Schema() }
 
 // Schema returns the query's relation→arity map. Immutable after
 // construction.
@@ -188,8 +218,14 @@ func ApplyStream(sess streamApplier, r io.Reader, batchSize int) (int, error) {
 // command is batched — the hook the CLI uses to count commands and warn
 // about relations outside the query on the same single parse pass.
 func ApplyStreamFunc(sess streamApplier, r io.Reader, batchSize int, observe func(u Update, line int)) (int, error) {
+	return ApplyStreamReader(sess, NewStreamReader(r), batchSize, observe)
+}
+
+// ApplyStreamReader is ApplyStreamFunc over an already-constructed
+// StreamReader — the entry point for callers that configured the reader
+// first (UseDict for the CLI's -strings mode).
+func ApplyStreamReader(sess streamApplier, sr *StreamReader, batchSize int, observe func(u Update, line int)) (int, error) {
 	schema := sess.Schema()
-	sr := NewStreamReader(r)
 	applied := 0
 	var pending []Update
 	flush := func() error {

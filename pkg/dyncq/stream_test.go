@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"dyncq/internal/dict"
 	"dyncq/internal/dyndb"
 	"dyncq/internal/workload"
 )
@@ -159,5 +160,59 @@ func TestParseStreamReportsLine(t *testing.T) {
 	_, err := ParseStream(strings.NewReader("+E(1,2)\nbogus line\n"))
 	if err == nil || !strings.Contains(err.Error(), "line 2") {
 		t.Fatalf("want line-2 error, got %v", err)
+	}
+}
+
+// TestParseUpdateDict: string mode encodes tuple entries through the
+// dictionary, and the StreamReader plumbs it end to end.
+func TestParseUpdateDict(t *testing.T) {
+	d := dict.New()
+	u, err := ParseUpdateDict("+E(alice, bob)", d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Rel != "E" || len(u.Tuple) != 2 {
+		t.Fatalf("parsed %v", u)
+	}
+	if d.Decode(u.Tuple[0]) != "alice" || d.Decode(u.Tuple[1]) != "bob" {
+		t.Fatalf("decoded %q, %q", d.Decode(u.Tuple[0]), d.Decode(u.Tuple[1]))
+	}
+	// The same name maps to the same code; integers are strings here.
+	u2, err := ParseUpdateDict("-E(alice, 42)", d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u2.Op != OpDelete || u2.Tuple[0] != u.Tuple[0] {
+		t.Fatalf("re-encoded alice differently: %v vs %v", u2, u)
+	}
+	if d.Decode(u2.Tuple[1]) != "42" {
+		t.Fatalf("string mode decoded %q, want \"42\"", d.Decode(u2.Tuple[1]))
+	}
+	// Malformed input is rejected exactly as in int mode.
+	if _, err := ParseUpdateDict("+-E(a)", d); err == nil {
+		t.Fatal("doubled sign accepted in string mode")
+	}
+	if _, err := ParseUpdateDict("E(a) junk", d); err == nil {
+		t.Fatal("trailing garbage accepted in string mode")
+	}
+
+	// End to end: a dict-mode stream through a workspace.
+	ws := NewWorkspace(WorkspaceOptions{})
+	h, err := ws.Register("q", "Q(y) :- E(x,y), T(y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := NewStreamReader(strings.NewReader("+E(alice,bob)\n+T(bob)\n-E(alice,bob)\n+E(carol,bob)\n"))
+	sr.UseDict(ws.Dict())
+	applied, err := ApplyStreamReader(ws, sr, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied == 0 {
+		t.Fatal("stream applied nothing")
+	}
+	tuples := h.Tuples()
+	if len(tuples) != 1 || ws.Dict().Decode(tuples[0][0]) != "bob" {
+		t.Fatalf("result %v, want [bob]", tuples)
 	}
 }

@@ -1,0 +1,865 @@
+package dyncq
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"dyncq/internal/core"
+	"dyncq/internal/cq"
+	"dyncq/internal/dict"
+	"dyncq/internal/dyndb"
+	"dyncq/internal/eval"
+	"dyncq/internal/ivm"
+	"dyncq/internal/qtree"
+)
+
+// This file implements the workspace front door: ONE shared
+// dyndb.Database serving any number of registered live queries. The
+// paper maintains one data structure per fixed query; a production
+// system serves many queries over one update stream, and the shape both
+// the UCQ extension (Berkholz et al. 2018) and the free-access-patterns
+// line (Kara et al. 2023) presuppose is exactly this one — a shared
+// database with per-query maintenance structures fed by a common delta
+// stream.
+//
+// The pipeline, per batch: coalesce once, validate once (against the
+// union schema of all registered queries and the store, so a bad batch
+// is rejected atomically), compute the net delta against the shared
+// store once (dyndb.NetDelta), apply it to the store once — the store
+// mutation count is independent of how many queries are registered —
+// and fan the same delta out to every query's maintenance structure
+// (core / ivm / recompute, routed per query exactly as for a single
+// Session). IVM backends need the store in a specific state relative to
+// each relation's mutation (deletion deltas evaluate on the pre-state,
+// insertion deltas on the post-state), so the fan-out interleaves
+// per-relation hooks with the store mutation; core backends receive the
+// whole delta after the store is current, in delta order, reusing the
+// sharded parallel path when the workspace was built with workers.
+//
+// Concurrency: a Workspace is safe for concurrent use with the same
+// model as the former ConcurrentSession — writers serialise behind a
+// write lock and commit atomically, readers (every Handle method and
+// View) share a read lock and always observe the state after some whole
+// prefix of the committed batch sequence. Version() counts committed
+// state changes across ALL queries: after any commit, every registered
+// query observes the same version.
+
+// queryBackend is the per-query maintenance interface the workspace
+// drives. The workspace owns the shared store and the update pipeline;
+// backends only maintain their per-query view structures.
+type queryBackend interface {
+	// Reads, in the uniform Session contract.
+	Count() uint64
+	Answer() bool
+	Enumerate(yield func(tuple []Value) bool)
+
+	// Single-update fast path: preDeleteOne runs before the store
+	// deletes (IVM's pre-state delta), postApplyOne after the store
+	// applied the command.
+	preDeleteOne(rel string, tuple []Value)
+	postApplyOne(u Update)
+
+	// Batch pipeline: beginBatch opens a nonempty net delta; preDelete /
+	// postInsert bracket each relation's store mutation; finishBatch
+	// closes the batch with the full delta once the store is current.
+	beginBatch(survivors int)
+	preDelete(rel string, tuples [][]Value)
+	postInsert(rel string, tuples [][]Value)
+	finishBatch(survivors []Update, workers int)
+
+	// rebuild brings the structure up to date with the shared store's
+	// current contents (Load, late registration); clear leaves it
+	// representing the empty database. Both rebind to idx, the shared
+	// index set (nil when no IVM query is registered).
+	rebuild(idx *eval.IndexSet) error
+	clear(idx *eval.IndexSet)
+
+	// shards reports the backend's shard count (0 when sharding does not
+	// apply) — the introspection behind Parallel().
+	shards() int
+}
+
+// WorkspaceOptions configures NewWorkspace.
+type WorkspaceOptions struct {
+	// Workers is the number of goroutines each batch's shard-disjoint
+	// deltas are applied on, per core-backed query (<= 1 keeps every
+	// path sequential). Core engines registered without an explicit
+	// Options.Shards are built with 4×Workers shards, exactly as
+	// NewConcurrent derives them.
+	Workers int
+}
+
+// Workspace is the shared front door: one dynamic database, one update
+// pipeline, many registered live queries. Build one with NewWorkspace;
+// the zero value is not ready. Safe for concurrent use.
+type Workspace struct {
+	mu      sync.RWMutex
+	store   *dyndb.Database
+	idx     *eval.IndexSet // shared by IVM backends; nil while none is registered
+	d       *dict.Dict     // lazily created by Dict/InsertS/DeleteS
+	schema  map[string]int // union schema over all registered queries
+	owner   map[string]string
+	handles map[string]*Handle
+	order   []*Handle // registration order
+	workers int
+	version uint64
+}
+
+// NewWorkspace returns an empty workspace with no registered queries.
+// Updates applied before any registration only populate the shared
+// store; queries registered later are brought up to date against it.
+func NewWorkspace(opt WorkspaceOptions) *Workspace {
+	return &Workspace{
+		store:   dyndb.New(),
+		schema:  make(map[string]int),
+		owner:   make(map[string]string),
+		handles: make(map[string]*Handle),
+		workers: opt.Workers,
+	}
+}
+
+// Handle is the read surface of one registered live query. All read
+// methods are safe for concurrent use and observe the workspace's
+// latest committed state; use Workspace.View for multi-call snapshot
+// consistency. A Handle stays valid until its query is unregistered;
+// after that, reads on a retained handle are undefined beyond being
+// safe: core and IVM handles answer from their structure's last
+// maintained state, while a recompute handle (which stores nothing)
+// keeps re-evaluating the live shared store. Drop handles when
+// unregistering.
+type Handle struct {
+	ws       *Workspace
+	name     string
+	query    *cq.Query
+	class    qtree.Classification
+	strategy Strategy
+	back     queryBackend
+
+	// maintainNS accumulates the time the batch pipeline spent
+	// maintaining this query (delta hooks + finishBatch), and batches
+	// the number of nonempty batches it participated in — the per-query
+	// split of the shared pipeline's cost, reported by the bench
+	// harness. The single-update fast path is deliberately untimed.
+	maintainNS int64
+	batches    int64
+}
+
+// Name returns the registration name.
+func (h *Handle) Name() string { return h.name }
+
+// Query returns the maintained query. Immutable after registration.
+func (h *Handle) Query() *cq.Query { return h.query }
+
+// Strategy returns the backend serving this query (never StrategyAuto).
+func (h *Handle) Strategy() Strategy { return h.strategy }
+
+// Classification returns the taxonomy verdict computed at registration.
+func (h *Handle) Classification() qtree.Classification { return h.class }
+
+// Count returns |ϕ(D)| over the latest committed shared state.
+func (h *Handle) Count() uint64 {
+	h.ws.mu.RLock()
+	defer h.ws.mu.RUnlock()
+	return h.back.Count()
+}
+
+// Answer reports whether ϕ(D) is nonempty.
+func (h *Handle) Answer() bool {
+	h.ws.mu.RLock()
+	defer h.ws.mu.RUnlock()
+	return h.back.Answer()
+}
+
+// Enumerate streams the result of the latest committed state under the
+// workspace read lock, with the uniform Session.Enumerate slice
+// contract (callee-owned; copy to retain). The lock is not reentrant:
+// yield must not call workspace or handle methods.
+func (h *Handle) Enumerate(yield func(tuple []Value) bool) {
+	h.ws.mu.RLock()
+	defer h.ws.mu.RUnlock()
+	h.back.Enumerate(yield)
+}
+
+// Tuples returns the full result as freshly allocated tuples, in the
+// backend's enumeration order.
+func (h *Handle) Tuples() [][]Value {
+	h.ws.mu.RLock()
+	defer h.ws.mu.RUnlock()
+	return collectTuples(h.back)
+}
+
+// Version returns the workspace version — identical across all handles
+// of one workspace at any committed state.
+func (h *Handle) Version() uint64 { return h.ws.Version() }
+
+// Cardinality returns |D| of the shared store.
+func (h *Handle) Cardinality() int { return h.ws.Cardinality() }
+
+// ActiveDomainSize returns n = |adom(D)| of the shared store.
+func (h *Handle) ActiveDomainSize() int { return h.ws.ActiveDomainSize() }
+
+// MaintenanceNS returns the cumulative time the batch pipeline spent
+// maintaining this query, and the number of nonempty batches it
+// participated in. The per-batch delta of the first value is the
+// per-query update latency the bench harness reports.
+func (h *Handle) MaintenanceNS() (ns int64, batches int64) {
+	h.ws.mu.RLock()
+	defer h.ws.mu.RUnlock()
+	return h.maintainNS, h.batches
+}
+
+func collectTuples(back queryBackend) [][]Value {
+	var out [][]Value
+	back.Enumerate(func(t []Value) bool {
+		out = append(out, append([]Value(nil), t...))
+		return true
+	})
+	return out
+}
+
+// Register parses the query text (cq.Parse syntax) and registers it
+// under the given name with automatic routing — the one-call entry
+// point the CLI uses.
+func (w *Workspace) Register(name, text string) (*Handle, error) {
+	q, err := cq.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	return w.RegisterQuery(name, q, Options{})
+}
+
+// RegisterQuery registers a query under a unique name with explicit
+// options, routing by classification exactly as NewWithOptions does for
+// a Session: core for q-hierarchical queries, IVM otherwise, unless
+// opt.Force pins a strategy. The new query's schema must be consistent
+// with every already-registered query and with the relations already
+// declared in the shared store. Registration against a populated store
+// runs the strategy's preprocessing phase over the current contents, so
+// late-registered queries are immediately up to date. Registration does
+// not advance the version (the data did not change).
+func (w *Workspace) RegisterQuery(name string, q *cq.Query, opt Options) (*Handle, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if name == "" {
+		return nil, fmt.Errorf("dyncq: empty query name")
+	}
+	if _, ok := w.handles[name]; ok {
+		return nil, fmt.Errorf("dyncq: query %q is already registered", name)
+	}
+	if err := q.Validate(); err != nil {
+		return nil, fmt.Errorf("dyncq: %w", err)
+	}
+	for rel, ar := range q.Schema() {
+		if want, ok := w.schema[rel]; ok && want != ar {
+			return nil, fmt.Errorf("dyncq: %s has arity %d in query %q, but arity %d in already-registered query %q",
+				rel, ar, name, want, w.owner[rel])
+		}
+		if r := w.store.Relation(rel); r != nil && r.Arity() != ar {
+			return nil, fmt.Errorf("dyncq: %s has arity %d in query %q, but arity %d in the shared store", rel, ar, name, r.Arity())
+		}
+	}
+	h := &Handle{ws: w, name: name, query: q, class: qtree.Classify(q)}
+	strategy := opt.Force
+	if strategy == StrategyAuto {
+		if h.class.QHierarchical {
+			strategy = StrategyCore
+		} else {
+			strategy = StrategyIVM
+		}
+	}
+	switch strategy {
+	case StrategyCore:
+		shards := opt.Shards
+		if shards == 0 && w.workers > 1 {
+			shards = 4 * w.workers
+		}
+		if shards < 1 {
+			shards = 1
+		}
+		e, err := core.NewOnStore(q, shards, w.store)
+		if err != nil {
+			return nil, fmt.Errorf("dyncq: %w", err)
+		}
+		h.back = &coreBackend{e: e}
+	case StrategyIVM:
+		if w.idx == nil {
+			w.idx = eval.NewIndexSet(w.store)
+		}
+		m, err := ivm.NewOnStore(q, w.store, w.idx)
+		if err != nil {
+			return nil, fmt.Errorf("dyncq: %w", err)
+		}
+		h.back = &ivmBackend{m: m}
+	case StrategyRecompute:
+		h.back = &recomputeBackend{r: newRecomputeOn(q, w.store)}
+	default:
+		return nil, fmt.Errorf("dyncq: invalid strategy %v", strategy)
+	}
+	h.strategy = strategy
+	// Catch up with the store's current contents before going live.
+	if err := h.back.rebuild(w.idx); err != nil {
+		return nil, fmt.Errorf("dyncq: %w", err)
+	}
+	for rel, ar := range q.Schema() {
+		if _, ok := w.schema[rel]; !ok {
+			w.schema[rel] = ar
+			w.owner[rel] = name
+		}
+	}
+	w.handles[name] = h
+	w.order = append(w.order, h)
+	return h, nil
+}
+
+// Unregister removes the named query from the workspace, reporting
+// whether it was registered. The shared store keeps its data (including
+// relations only that query mentioned); the union schema shrinks to the
+// remaining queries.
+func (w *Workspace) Unregister(name string) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	h, ok := w.handles[name]
+	if !ok {
+		return false
+	}
+	delete(w.handles, name)
+	for i, o := range w.order {
+		if o == h {
+			w.order = append(w.order[:i], w.order[i+1:]...)
+			break
+		}
+	}
+	w.schema = make(map[string]int)
+	w.owner = make(map[string]string)
+	ivmLeft := false
+	for _, o := range w.order {
+		for rel, ar := range o.query.Schema() {
+			if _, ok := w.schema[rel]; !ok {
+				w.schema[rel] = ar
+				w.owner[rel] = o.name
+			}
+		}
+		if o.strategy == StrategyIVM {
+			ivmLeft = true
+		}
+	}
+	if !ivmLeft {
+		w.idx = nil // stop maintaining indexes nobody evaluates against
+	}
+	return true
+}
+
+// Handle returns the handle registered under name, or nil.
+func (w *Workspace) Handle(name string) *Handle {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.handles[name]
+}
+
+// Handles returns the registered handles in registration order.
+func (w *Workspace) Handles() []*Handle {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return append([]*Handle(nil), w.order...)
+}
+
+// Workers returns the configured worker count.
+func (w *Workspace) Workers() int { return w.workers }
+
+// Schema returns the union relation→arity schema over all registered
+// queries (a copy).
+func (w *Workspace) Schema() map[string]int {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	out := make(map[string]int, len(w.schema))
+	for rel, ar := range w.schema {
+		out[rel] = ar
+	}
+	return out
+}
+
+// Version returns the number of committed state changes (every Load
+// counts as one — even a failed Load discards the prior state). All
+// registered queries observe the same version at any committed state.
+func (w *Workspace) Version() uint64 {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.version
+}
+
+// Cardinality returns |D| of the shared store.
+func (w *Workspace) Cardinality() int {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.store.Cardinality()
+}
+
+// ActiveDomainSize returns n = |adom(D)| of the shared store.
+func (w *Workspace) ActiveDomainSize() int {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.store.ActiveDomainSize()
+}
+
+// StoreMutations returns the shared store's lifetime mutation count
+// (dyndb.Database.Mutations) — the number the "store applied once per
+// batch, independent of the number of registered queries" guarantee is
+// measured in.
+func (w *Workspace) StoreMutations() uint64 {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.store.Mutations()
+}
+
+// Dict returns the workspace's dictionary, creating it on first use.
+// The dictionary backs the string-accepting helpers (InsertS/DeleteS)
+// and the CLI's -strings stream mode. It is NOT independently
+// goroutine-safe: do not call Encode on it concurrently with workspace
+// writers — use the helpers, which encode under the workspace lock.
+func (w *Workspace) Dict() *dict.Dict {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.dictLocked()
+}
+
+func (w *Workspace) dictLocked() *dict.Dict {
+	if w.d == nil {
+		w.d = dict.New()
+	}
+	return w.d
+}
+
+// InsertS inserts a tuple of external string constants, encoding them
+// through the workspace dictionary (Workspace.Dict). The arity check
+// runs before any encoding, so a rejected insert assigns no codes.
+func (w *Workspace) InsertS(rel string, names ...string) (bool, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.checkArity(rel, len(names)); err != nil {
+		return false, err
+	}
+	d := w.dictLocked()
+	tuple := make([]Value, len(names))
+	for i, n := range names {
+		tuple[i] = d.Encode(n)
+	}
+	return w.applyExclusive(dyndb.Insert(rel, tuple...))
+}
+
+// DeleteS deletes a tuple of external string constants. A name the
+// dictionary has never seen cannot occur in any stored tuple, so such a
+// deletion is a no-op (and assigns no code) — but an arity mismatch
+// still errors, exactly as on every other write path.
+func (w *Workspace) DeleteS(rel string, names ...string) (bool, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.checkArity(rel, len(names)); err != nil {
+		return false, err
+	}
+	d := w.dictLocked()
+	tuple := make([]Value, len(names))
+	for i, n := range names {
+		c, ok := d.Lookup(n)
+		if !ok {
+			return false, nil
+		}
+		tuple[i] = c
+	}
+	return w.applyExclusive(dyndb.Delete(rel, tuple...))
+}
+
+// Insert applies "insert R(a1,…,ar)" to the shared store and every
+// registered query, reporting whether the database changed.
+func (w *Workspace) Insert(rel string, tuple ...Value) (bool, error) {
+	return w.Apply(dyndb.Insert(rel, tuple...))
+}
+
+// Delete applies "delete R(a1,…,ar)", reporting whether the database
+// changed.
+func (w *Workspace) Delete(rel string, tuple ...Value) (bool, error) {
+	return w.Apply(dyndb.Delete(rel, tuple...))
+}
+
+// Apply executes one update command atomically across the shared store
+// and every registered query.
+func (w *Workspace) Apply(u Update) (bool, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.applyExclusive(u)
+}
+
+// ApplyAll executes a sequence of updates one at a time, stopping at
+// the first error. For bulk work prefer ApplyBatch.
+func (w *Workspace) ApplyAll(updates []Update) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, u := range updates {
+		if _, err := w.applyExclusive(u); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkArity validates one command against the union schema (errors
+// name the owning query) and, for relations outside every query, the
+// shared store's declaration.
+func (w *Workspace) checkArity(rel string, arity int) error {
+	if want, ok := w.schema[rel]; ok {
+		if want != arity {
+			return fmt.Errorf("dyncq: %s has arity %d in query %q, got tuple of length %d", rel, want, w.owner[rel], arity)
+		}
+		return nil
+	}
+	if r := w.store.Relation(rel); r != nil && r.Arity() != arity {
+		return fmt.Errorf("dyncq: %s has arity %d in the shared store, got tuple of length %d", rel, r.Arity(), arity)
+	}
+	return nil
+}
+
+// applyExclusive is the single-update fast path: one arity check, one
+// store mutation, one fan-out loop — no batch bookkeeping.
+//
+// The *Exclusive methods (applyExclusive, applyBatchExclusive,
+// loadExclusive) require exclusive access to the workspace: either the
+// caller holds w.mu.Lock (the exported write methods) or the workspace
+// is privately owned by a single-goroutine caller (a Session over the
+// workspace it created — which is why a Session keeps the lock-free
+// cost and reentrancy behaviour of the pre-workspace session layer).
+func (w *Workspace) applyExclusive(u Update) (bool, error) {
+	if err := w.checkArity(u.Rel, len(u.Tuple)); err != nil {
+		return false, err
+	}
+	if u.Op == dyndb.OpDelete {
+		if !w.store.Has(u.Rel, u.Tuple...) {
+			return false, nil
+		}
+		// IVM deletion deltas evaluate on the pre-state: hooks run before
+		// the store (and the shared index) forget the tuple.
+		for _, h := range w.order {
+			h.back.preDeleteOne(u.Rel, u.Tuple)
+		}
+		if _, err := w.store.Delete(u.Rel, u.Tuple...); err != nil {
+			panic("dyncq: validated delete failed to apply: " + err.Error())
+		}
+	} else {
+		changed, err := w.store.Insert(u.Rel, u.Tuple...)
+		if err != nil || !changed {
+			return changed, err
+		}
+	}
+	if w.idx != nil {
+		w.idx.ApplyUpdate(u)
+	}
+	for _, h := range w.order {
+		h.back.postApplyOne(u)
+	}
+	w.version++
+	return true, nil
+}
+
+// ApplyBatch executes a batch atomically across the shared store and
+// every registered query: the batch is coalesced, validated as a whole
+// (a bad command rejects the batch with nothing applied), reduced to
+// the net delta that actually changes the store, applied to the store
+// ONCE, and fanned out to every query's maintenance structure. Readers
+// observe either the state before the whole batch or after it. Returns
+// the number of net commands that changed the database.
+func (w *Workspace) ApplyBatch(updates []Update) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.applyBatchExclusive(updates)
+}
+
+// ApplyBatched splits the updates into chunks of batchSize and commits
+// each chunk atomically (readers may observe the state between chunks —
+// each chunk is one version). batchSize <= 0 applies one batch.
+func (w *Workspace) ApplyBatched(updates []Update, batchSize int) (int, error) {
+	return applyInChunks(updates, batchSize, w.ApplyBatch)
+}
+
+func (w *Workspace) applyBatchExclusive(updates []Update) (int, error) {
+	// Union-schema validation first: errors name the owning query.
+	// Store-level arity validation (relations outside every query, and
+	// intra-batch consistency of newly declared relations) happens
+	// inside NetDelta. Either failure rejects the batch atomically.
+	for _, u := range updates {
+		if err := w.checkArity(u.Rel, len(u.Tuple)); err != nil {
+			return 0, err
+		}
+	}
+	survivors, err := w.store.NetDelta(updates)
+	if err != nil {
+		return 0, fmt.Errorf("dyncq: %w", err)
+	}
+	if len(survivors) == 0 {
+		return 0, nil
+	}
+
+	for _, h := range w.order {
+		h.back.beginBatch(len(survivors))
+	}
+
+	// Group the delta per relation, in first-appearance order —
+	// deletions before insertions per relation, the exact schedule of
+	// the single-query IVM batch pipeline.
+	type relDelta struct {
+		dels, ins [][]Value
+	}
+	deltas := make(map[string]*relDelta)
+	var relOrder []string
+	for _, u := range survivors {
+		d := deltas[u.Rel]
+		if d == nil {
+			d = &relDelta{}
+			deltas[u.Rel] = d
+			relOrder = append(relOrder, u.Rel)
+		}
+		if u.Op == dyndb.OpInsert {
+			d.ins = append(d.ins, u.Tuple)
+		} else {
+			d.dels = append(d.dels, u.Tuple)
+		}
+	}
+
+	// Store phase: each relation's mutation bracketed by the pre/post
+	// delta hooks. The store (and the shared index) is written exactly
+	// once per net command, independent of the number of queries. Only
+	// IVM backends do work in the per-relation hooks, so only they pay
+	// the per-hook clock reads; the other strategies' hooks are no-ops
+	// and contribute zero to their timers by construction.
+	perNS := make([]int64, len(w.order))
+	for _, rel := range relOrder {
+		d := deltas[rel]
+		if len(d.dels) > 0 {
+			for i, h := range w.order {
+				if h.strategy != StrategyIVM {
+					h.back.preDelete(rel, d.dels)
+					continue
+				}
+				t0 := time.Now()
+				h.back.preDelete(rel, d.dels)
+				perNS[i] += time.Since(t0).Nanoseconds()
+			}
+			for _, t := range d.dels {
+				if _, err := w.store.Delete(rel, t...); err != nil {
+					panic("dyncq: validated delta failed to apply: " + err.Error())
+				}
+				if w.idx != nil {
+					w.idx.ApplyUpdate(dyndb.Delete(rel, t...))
+				}
+			}
+		}
+		if len(d.ins) > 0 {
+			for _, t := range d.ins {
+				if _, err := w.store.Insert(rel, t...); err != nil {
+					panic("dyncq: validated delta failed to apply: " + err.Error())
+				}
+				if w.idx != nil {
+					w.idx.ApplyUpdate(dyndb.Insert(rel, t...))
+				}
+			}
+			for i, h := range w.order {
+				if h.strategy != StrategyIVM {
+					h.back.postInsert(rel, d.ins)
+					continue
+				}
+				t0 := time.Now()
+				h.back.postInsert(rel, d.ins)
+				perNS[i] += time.Since(t0).Nanoseconds()
+			}
+		}
+	}
+
+	// Fan-out phase: every backend sees the full delta with the store
+	// current (core runs its per-atom procedures here, parallel when the
+	// workspace has workers; IVM closes its batch, rebuilding if the
+	// crossover chose to).
+	for i, h := range w.order {
+		t0 := time.Now()
+		h.back.finishBatch(survivors, w.workers)
+		perNS[i] += time.Since(t0).Nanoseconds()
+		h.maintainNS += perNS[i]
+		h.batches++
+	}
+	w.version++
+	return len(survivors), nil
+}
+
+// Load performs the preprocessing phase for an initial database across
+// the whole workspace, with the uniform reset-then-load contract of the
+// session layer: after Load the shared store holds exactly db and every
+// registered query represents exactly its result over db, discarding
+// all prior state. A failed Load (an arity clash between db and any
+// registered query) leaves the workspace representing the EMPTY
+// database. Either way the version advances once, and all queries
+// observe it.
+func (w *Workspace) Load(db *Database) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.loadExclusive(db)
+}
+
+func (w *Workspace) loadExclusive(db *dyndb.Database) error {
+	w.version++
+	fail := func(err error) error {
+		w.store.Clear()
+		w.resetIdxLocked()
+		for _, h := range w.order {
+			h.back.clear(w.idx)
+		}
+		return err
+	}
+	for _, rel := range db.Relations() {
+		if want, ok := w.schema[rel]; ok && want != db.Relation(rel).Arity() {
+			return fail(fmt.Errorf("dyncq: %s has arity %d in query %q, %d in the loaded database",
+				rel, want, w.owner[rel], db.Relation(rel).Arity()))
+		}
+	}
+	w.store.Clear()
+	if err := w.store.CopyFrom(db); err != nil {
+		return fail(err) // unreachable: the store was just cleared
+	}
+	w.resetIdxLocked()
+	for _, h := range w.order {
+		if err := h.back.rebuild(w.idx); err != nil {
+			return fail(err)
+		}
+	}
+	return nil
+}
+
+// resetIdxLocked replaces the shared index set with a fresh one over
+// the store's (new) contents, if any IVM query needs one. Indexes are
+// rebuilt lazily on the next evaluation.
+func (w *Workspace) resetIdxLocked() {
+	if w.idx != nil {
+		w.idx = eval.NewIndexSet(w.store)
+	}
+}
+
+// View runs f with shared (read-locked) snapshot access to the whole
+// workspace: every read f performs — across ALL registered queries —
+// sees the same committed state, pinned at one version. f must not call
+// any locking Workspace or Handle method (the lock is not reentrant)
+// and must not retain the WorkspaceView or yielded tuples past its
+// return.
+func (w *Workspace) View(f func(v *WorkspaceView)) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	f(&WorkspaceView{w: w})
+}
+
+// WorkspaceView is the lock-free read surface View hands its callback:
+// reads address queries by registration name and all observe the one
+// pinned state. Valid only during the callback.
+type WorkspaceView struct {
+	w *Workspace
+}
+
+// Version returns the pinned version.
+func (v *WorkspaceView) Version() uint64 { return v.w.version }
+
+// Cardinality returns |D| of the shared store at the pinned state.
+func (v *WorkspaceView) Cardinality() int { return v.w.store.Cardinality() }
+
+// ActiveDomainSize returns n = |adom(D)| at the pinned state.
+func (v *WorkspaceView) ActiveDomainSize() int { return v.w.store.ActiveDomainSize() }
+
+func (v *WorkspaceView) backend(name string) queryBackend {
+	h := v.w.handles[name]
+	if h == nil {
+		panic(fmt.Sprintf("dyncq: no query %q registered in this workspace", name))
+	}
+	return h.back
+}
+
+// Count returns |ϕ(D)| of the named query at the pinned state.
+func (v *WorkspaceView) Count(name string) uint64 { return v.backend(name).Count() }
+
+// Answer reports whether the named query's result is nonempty.
+func (v *WorkspaceView) Answer(name string) bool { return v.backend(name).Answer() }
+
+// Enumerate streams the named query's result at the pinned state, with
+// the uniform slice contract (callee-owned; copy to retain).
+func (v *WorkspaceView) Enumerate(name string, yield func(tuple []Value) bool) {
+	v.backend(name).Enumerate(yield)
+}
+
+// Tuples returns the named query's full result as freshly allocated
+// tuples.
+func (v *WorkspaceView) Tuples(name string) [][]Value { return collectTuples(v.backend(name)) }
+
+// ---- strategy adapters ----
+
+// coreBackend adapts a shared-store core engine: the per-atom update
+// procedures are order-independent of the store mutation, so everything
+// runs in finishBatch (parallel over shards when workers allow).
+type coreBackend struct {
+	e *core.Engine
+}
+
+func (b *coreBackend) Count() uint64                      { return b.e.Count() }
+func (b *coreBackend) Answer() bool                       { return b.e.Answer() }
+func (b *coreBackend) Enumerate(yield func([]Value) bool) { b.e.Enumerate(yield) }
+func (b *coreBackend) preDeleteOne(string, []Value)       {}
+func (b *coreBackend) postApplyOne(u Update)              { b.e.ApplySharedUpdate(u) }
+func (b *coreBackend) beginBatch(int)                     {}
+func (b *coreBackend) preDelete(string, [][]Value)        {}
+func (b *coreBackend) postInsert(string, [][]Value)       {}
+func (b *coreBackend) finishBatch(survivors []Update, workers int) {
+	b.e.ApplySharedDelta(survivors, workers)
+}
+func (b *coreBackend) rebuild(*eval.IndexSet) error { return b.e.RebuildFromStore() }
+func (b *coreBackend) clear(*eval.IndexSet)         { b.e.ClearStructure() }
+func (b *coreBackend) shards() int                  { return b.e.Shards() }
+
+// ivmBackend adapts a shared-store IVM maintainer: deltas are
+// propagated through the per-relation pre/post hooks; one is a reusable
+// singleton slice for the single-update fast path (safe: callers hold
+// the workspace write lock, and the hooks do not retain it).
+type ivmBackend struct {
+	m   *ivm.Maintainer
+	one [1][]Value
+}
+
+func (b *ivmBackend) Count() uint64                      { return b.m.Count() }
+func (b *ivmBackend) Answer() bool                       { return b.m.Answer() }
+func (b *ivmBackend) Enumerate(yield func([]Value) bool) { b.m.Enumerate(yield) }
+func (b *ivmBackend) preDeleteOne(rel string, tuple []Value) {
+	b.one[0] = tuple
+	b.m.PreDeleteShared(rel, b.one[:])
+}
+func (b *ivmBackend) postApplyOne(u Update) {
+	if u.Op == dyndb.OpInsert {
+		b.one[0] = u.Tuple
+		b.m.PostInsertShared(u.Rel, b.one[:])
+	}
+}
+func (b *ivmBackend) beginBatch(survivors int)                { b.m.BeginSharedBatch(survivors) }
+func (b *ivmBackend) preDelete(rel string, tuples [][]Value)  { b.m.PreDeleteShared(rel, tuples) }
+func (b *ivmBackend) postInsert(rel string, tuples [][]Value) { b.m.PostInsertShared(rel, tuples) }
+func (b *ivmBackend) finishBatch([]Update, int)               { b.m.FinishSharedBatch() }
+func (b *ivmBackend) rebuild(idx *eval.IndexSet) error        { return b.m.RebuildShared(idx) }
+func (b *ivmBackend) clear(idx *eval.IndexSet)                { b.m.ClearShared(idx) }
+func (b *ivmBackend) shards() int                             { return 0 }
+
+// recomputeBackend adapts the stateless recompute strategy: it stores
+// nothing, so maintenance is free and reads evaluate the shared store.
+type recomputeBackend struct {
+	r *recompute
+}
+
+func (b *recomputeBackend) Count() uint64                      { return b.r.Count() }
+func (b *recomputeBackend) Answer() bool                       { return b.r.Answer() }
+func (b *recomputeBackend) Enumerate(yield func([]Value) bool) { b.r.Enumerate(yield) }
+func (b *recomputeBackend) preDeleteOne(string, []Value)       {}
+func (b *recomputeBackend) postApplyOne(Update)                {}
+func (b *recomputeBackend) beginBatch(int)                     {}
+func (b *recomputeBackend) preDelete(string, [][]Value)        {}
+func (b *recomputeBackend) postInsert(string, [][]Value)       {}
+func (b *recomputeBackend) finishBatch([]Update, int)          {}
+func (b *recomputeBackend) rebuild(*eval.IndexSet) error       { return b.r.validate() }
+func (b *recomputeBackend) clear(*eval.IndexSet)               {}
+func (b *recomputeBackend) shards() int                        { return 0 }
