@@ -191,7 +191,20 @@ func cmdRun(args []string) error {
 		fmt.Printf("query %-8s %s  [%s]\n", h.Name()+":", h.Query(), h.Strategy())
 	}
 	if *parallel > 1 {
-		fmt.Printf("workers:  %d (sharded parallel batches on core backends)\n", *parallel)
+		// Report the EFFECTIVE configuration from the workspace's own
+		// introspection instead of re-deriving the shard heuristics.
+		p := ws.Parallelism()
+		var shardInfo []string
+		for _, h := range ws.Handles() {
+			if s := p.QueryShards[h.Name()]; s > 1 {
+				shardInfo = append(shardInfo, fmt.Sprintf("%s=%d", h.Name(), s))
+			}
+		}
+		detail := "no sharded query backends; store phase and handle fan-out only"
+		if len(shardInfo) > 0 {
+			detail = "query shards " + strings.Join(shardInfo, ",")
+		}
+		fmt.Printf("workers:  %d (store shards %d, %s)\n", p.Workers, p.StoreShards, detail)
 	}
 	var d *dict.Dict
 	if *stringsMode {
@@ -384,8 +397,11 @@ func cmdBench(args []string) error {
 	if len(args) > 0 && (args[0] == "-compare" || args[0] == "--compare") {
 		return cmdBenchCompare(args[1:])
 	}
+	if len(args) > 0 && (args[0] == "-speedup" || args[0] == "--speedup") {
+		return cmdBenchSpeedup(args[1:])
+	}
 	fs := flag.NewFlagSet("dyncq bench", flag.ExitOnError)
-	out := fs.String("out", "BENCH_PR4.json", "output JSON path")
+	out := fs.String("out", "BENCH_PR5.json", "output JSON path")
 	seed := fs.Int64("seed", 1, "workload RNG seed")
 	n := fs.Int("n", 300, "star and hard-sqet case size (node count / domain); random-qh uses a fixed small domain")
 	streamLen := fs.Int("updates", 2000, "measured update-stream length per case")
@@ -398,6 +414,7 @@ func cmdBench(args []string) error {
 	repeat := fs.Int("repeat", 3, "repetitions per measurement; the report keeps the best latencies (steadies the regression gate)")
 	multi := fs.Bool("multi", true, "run the multi-query workspace phase (K queries over one shared store)")
 	multiBatch := fs.Int("multi-batch", 256, "batch size of the multi-query phase")
+	multiWorkersFlag := fs.String("multi-workers", "1,2,4", "comma-separated worker counts for the multi-query scaling phase (empty = skip)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -446,22 +463,36 @@ func cmdBench(args []string) error {
 		rep.Sweeps = append(rep.Sweeps, sw)
 	}
 	if *multi {
+		multiWorkers, err := parseIntList(*multiWorkersFlag)
+		if err != nil {
+			return fmt.Errorf("-multi-workers: %w", err)
+		}
 		multiCases, err := DefaultMultiSuite(*seed, *n, *streamLen, *multiBatch, *repeat)
 		if err != nil {
 			return err
+		}
+		for i := range multiCases {
+			multiCases[i].Workers = multiWorkers
 		}
 		rep.Multi, err = bench.RunMultiAll(multiCases)
 		if err != nil {
 			return err
 		}
-		// matches_solo is a correctness bit, not a latency: a divergence
-		// between the shared workspace and an independent session must
-		// fail the bench run itself (and with it the CI smoke step) —
-		// the percentile-diffing compare gate would never see it.
+		// matches_solo and matches_workers_1 are correctness bits, not
+		// latencies: a divergence between the shared workspace and an
+		// independent session, or between worker counts, must fail the
+		// bench run itself (and with it the CI smoke step) — the
+		// percentile-diffing compare gate would never see it.
 		for _, m := range rep.Multi {
 			for _, q := range m.Queries {
 				if !q.MatchesSolo {
 					err = fmt.Errorf("multi case %s: query %s [%s] diverges from its independent session", m.Name, q.Name, q.Strategy)
+					fmt.Fprintln(os.Stderr, "dyncq bench:", err)
+				}
+			}
+			for _, sc := range m.Scaling {
+				if !sc.MatchesWorkers1 {
+					err = fmt.Errorf("multi case %s: workers=%d result diverges from workers=1", m.Name, sc.Workers)
 					fmt.Fprintln(os.Stderr, "dyncq bench:", err)
 				}
 			}
@@ -474,7 +505,8 @@ func cmdBench(args []string) error {
 	if err := rep.WriteJSON(*out); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s (%d cases, %d sweeps)\n", *out, len(rep.Cases), len(rep.Sweeps))
+	fmt.Printf("wrote %s (%d cases, %d sweeps; %d CPU, GOMAXPROCS %d)\n",
+		*out, len(rep.Cases), len(rep.Sweeps), rep.NumCPU, rep.Gomaxprocs)
 	for _, c := range rep.Cases {
 		fmt.Printf("\n%s  %s  (q-hierarchical: %v)\n", c.Name, c.Query, c.QHierarchical)
 		for _, s := range c.Strategies {
@@ -522,6 +554,68 @@ func cmdBench(args []string) error {
 			fmt.Printf("  %-10s [%s] maintain p50 %8dns p99 %8dns  solo-batch p50 %8dns  count %d  %s\n",
 				q.Name, q.Strategy, q.MaintainNS.P50, q.MaintainNS.P99, q.SoloUpdateNS.P50, q.Count, ok)
 		}
+		for _, sc := range m.Scaling {
+			fmt.Printf("  scaling workers %2d: %8.0f updates/s  speedup %.2fx\n",
+				sc.Workers, sc.UpdatesPerSec, sc.SpeedupVs1)
+		}
+	}
+	return nil
+}
+
+// cmdBenchSpeedup implements the scaling summary:
+//
+//	dyncq bench -speedup report.json [-min-scaling 1.2]
+//
+// It prints one line per parallel measurement and a soft notice (never
+// a non-zero exit) for every sharded workers=2 measurement scaling
+// below the threshold on a multi-core machine. Under GitHub Actions the
+// notices are additionally emitted as ::notice annotations so they
+// surface on the workflow run without failing it.
+func cmdBenchSpeedup(args []string) error {
+	opt := bench.SpeedupOptions{MinAtTwo: 1.2}
+	var files []string
+	for i := 0; i < len(args); i++ {
+		switch args[i] {
+		case "-min-scaling", "--min-scaling":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("-min-scaling needs a value")
+			}
+			v, err := strconv.ParseFloat(args[i], 64)
+			if err != nil || v <= 0 {
+				return fmt.Errorf("-min-scaling: invalid value %q", args[i])
+			}
+			opt.MinAtTwo = v
+		case "-h", "--help":
+			fmt.Fprintln(os.Stderr, "usage: dyncq bench -speedup report.json [-min-scaling 1.2]")
+			return nil
+		default:
+			if strings.HasPrefix(args[i], "-") {
+				return fmt.Errorf("bench -speedup: unknown flag %q", args[i])
+			}
+			files = append(files, args[i])
+		}
+	}
+	if len(files) != 1 {
+		return fmt.Errorf("bench -speedup wants exactly one report path, got %d", len(files))
+	}
+	rep, err := bench.LoadReport(files[0])
+	if err != nil {
+		return err
+	}
+	lines, notices := bench.SpeedupSummary(rep, opt)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	onActions := os.Getenv("GITHUB_ACTIONS") != ""
+	for _, n := range notices {
+		fmt.Println("notice:", n)
+		if onActions {
+			fmt.Printf("::notice title=bench scaling::%s\n", n)
+		}
+	}
+	if len(notices) == 0 {
+		fmt.Printf("scaling ok (threshold %.2fx at workers=2)\n", opt.MinAtTwo)
 	}
 	return nil
 }

@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"time"
 
@@ -157,10 +158,16 @@ type CaseResult struct {
 
 // Report is the top-level JSON artifact.
 type Report struct {
-	CreatedUnix int64         `json:"created_unix"`
-	GoVersion   string        `json:"go_version,omitempty"`
-	Cases       []CaseResult  `json:"cases"`
-	Sweeps      []SweepResult `json:"sweeps,omitempty"`
+	CreatedUnix int64  `json:"created_unix"`
+	GoVersion   string `json:"go_version,omitempty"`
+	// NumCPU and Gomaxprocs record the parallel capacity of the machine
+	// the report was produced on: recorded speedups are meaningless
+	// without them (a 1-core container can only ever report ≈1×, see
+	// the BENCH_PR3 episode in the ROADMAP).
+	NumCPU     int           `json:"num_cpu,omitempty"`
+	Gomaxprocs int           `json:"gomaxprocs,omitempty"`
+	Cases      []CaseResult  `json:"cases"`
+	Sweeps     []SweepResult `json:"sweeps,omitempty"`
 	// Multi holds the multi-query workspace phase (see RunMulti);
 	// reports from before the workspace front door simply lack it.
 	Multi []MultiResult `json:"multi,omitempty"`
@@ -433,7 +440,11 @@ func runBatched(cfg Config, st dyncq.Strategy, initDB *dyndb.Database, size int)
 
 // Run measures all cases and assembles the report.
 func Run(cases []Config, strategies []dyncq.Strategy) (Report, error) {
-	rep := Report{CreatedUnix: time.Now().Unix()}
+	rep := Report{
+		CreatedUnix: time.Now().Unix(),
+		NumCPU:      runtime.NumCPU(),
+		Gomaxprocs:  runtime.GOMAXPROCS(0),
+	}
 	for _, cfg := range cases {
 		cr, err := RunCase(cfg, strategies)
 		if err != nil {

@@ -48,6 +48,34 @@ type MultiConfig struct {
 	// once — it feeds the correctness check and the mutation counts,
 	// which are deterministic.
 	Repeat int
+	// Workers lists the worker counts of the scaling phase: for every
+	// count the same stream is replayed through a fresh workspace built
+	// with that many workers (parallel store phase, per-handle fan-out,
+	// per-engine shard workers) and a pinned shard count, so the
+	// recorded speedups compare identical layouts. Include 1 for the
+	// baseline the speedups are computed against. Empty = skip.
+	Workers []int
+}
+
+// scalingShards is the pinned core-engine and store shard count of the
+// multi-query scaling phase: every worker count runs the same sharded
+// layout, so speedups measure workers, not layout changes — and the
+// byte-identical check across worker counts is meaningful (enumeration
+// order depends on the shard count, not the worker count).
+const scalingShards = 8
+
+// MultiScalingResult measures one worker count of the scaling phase.
+type MultiScalingResult struct {
+	Workers int   `json:"workers"`
+	TotalNS int64 `json:"total_ns"`
+	// UpdatesPerSec is the stream-level throughput; SpeedupVs1 is
+	// TotalNS(workers=1)/TotalNS (0 if no workers=1 entry ran).
+	UpdatesPerSec float64 `json:"updates_per_sec"`
+	SpeedupVs1    float64 `json:"speedup_vs_1,omitempty"`
+	// MatchesWorkers1 reports whether every query's final result —
+	// including the enumeration order of core backends — is
+	// byte-identical to the workers=1 run of the same layout.
+	MatchesWorkers1 bool `json:"matches_workers_1"`
 }
 
 // MultiQueryResult is the per-query slice of a multi-query case.
@@ -98,6 +126,9 @@ type MultiResult struct {
 	// (all K queries maintained per batch).
 	BatchNS Percentiles        `json:"batch_ns"`
 	Queries []MultiQueryResult `json:"queries"`
+	// Scaling holds the worker-scaling phase, one entry per
+	// MultiConfig.Workers (pinned shard layout, see scalingShards).
+	Scaling []MultiScalingResult `json:"scaling,omitempty"`
 }
 
 // RunMulti measures one multi-query case: the shared workspace replay
@@ -127,7 +158,7 @@ func RunMulti(cfg MultiConfig) (MultiResult, error) {
 
 	var sharedTuples [][][]dyncq.Value
 	for rep := 0; rep < reps; rep++ {
-		one, tuples, err := runMultiShared(cfg, initDB, size)
+		one, tuples, err := runMultiShared(cfg, initDB, size, 0, 0)
 		if err != nil {
 			return res, err
 		}
@@ -187,18 +218,88 @@ func RunMulti(cfg MultiConfig) (MultiResult, error) {
 	if res.SharedTotalNS > 0 {
 		res.UpdatesPerSec = float64(len(cfg.Stream)) / (float64(res.SharedTotalNS) / 1e9)
 	}
+
+	// Scaling phase: the same stream through fresh workspaces built with
+	// each worker count, shard layout pinned (scalingShards) so the runs
+	// are byte-comparable and the speedups measure workers only. The
+	// workers=1 run is the baseline for both the speedups and the
+	// byte-identical bit: it runs first regardless of its position in
+	// cfg.Workers, and when the list omits it entirely an unrecorded
+	// workers=1 measurement still runs so the comparisons stay
+	// meaningful.
+	measure := func(workers int) (MultiScalingResult, [][][]dyncq.Value, error) {
+		sr := MultiScalingResult{Workers: workers}
+		var tuples [][][]dyncq.Value
+		for rep := 0; rep < reps; rep++ {
+			one, tu, err := runMultiShared(cfg, initDB, size, workers, scalingShards)
+			if err != nil {
+				return sr, nil, err
+			}
+			if rep == 0 || one.SharedTotalNS < sr.TotalNS {
+				sr.TotalNS = one.SharedTotalNS
+			}
+			tuples = tu
+		}
+		if sr.TotalNS > 0 {
+			sr.UpdatesPerSec = float64(len(cfg.Stream)) / (float64(sr.TotalNS) / 1e9)
+		}
+		return sr, tuples, nil
+	}
+	wantScaling := false
+	for _, workers := range cfg.Workers {
+		if workers >= 1 {
+			wantScaling = true
+		}
+	}
+	if !wantScaling {
+		return res, nil
+	}
+	baseSR, baseTuples, err := measure(1)
+	if err != nil {
+		return res, err
+	}
+	baseSR.MatchesWorkers1 = true
+	baseSR.SpeedupVs1 = 1
+	for _, workers := range cfg.Workers {
+		if workers < 1 {
+			continue
+		}
+		if workers == 1 {
+			res.Scaling = append(res.Scaling, baseSR)
+			continue
+		}
+		sr, tuples, err := measure(workers)
+		if err != nil {
+			return res, err
+		}
+		sr.MatchesWorkers1 = true
+		for i := range cfg.Queries {
+			// Pinned shard count ⇒ core enumeration order must agree
+			// exactly; the other strategies are canonicalised inside
+			// sameResult.
+			if !sameResult(res.Queries[i].Strategy, tuples[i], baseTuples[i]) {
+				sr.MatchesWorkers1 = false
+			}
+		}
+		if baseSR.TotalNS > 0 && sr.TotalNS > 0 {
+			sr.SpeedupVs1 = float64(baseSR.TotalNS) / float64(sr.TotalNS)
+		}
+		res.Scaling = append(res.Scaling, sr)
+	}
 	return res, nil
 }
 
-// runMultiShared is one repetition of the shared-workspace measurement.
-// It returns the per-query final tuples so the caller can check them
-// against the independent sessions.
-func runMultiShared(cfg MultiConfig, initDB *dyndb.Database, size int) (MultiResult, [][][]dyncq.Value, error) {
+// runMultiShared is one repetition of the shared-workspace measurement
+// with the given worker count and (for workers > 0) pinned engine/store
+// shard counts; workers = 0 is the sequential default layout. It
+// returns the per-query final tuples so the caller can check them
+// against the independent sessions (or across worker counts).
+func runMultiShared(cfg MultiConfig, initDB *dyndb.Database, size, workers, shards int) (MultiResult, [][][]dyncq.Value, error) {
 	var zero MultiResult
-	ws := dyncq.NewWorkspace(dyncq.WorkspaceOptions{})
+	ws := dyncq.NewWorkspace(dyncq.WorkspaceOptions{Workers: workers, StoreShards: shards})
 	handles := make([]*dyncq.Handle, len(cfg.Queries))
 	for i, nq := range cfg.Queries {
-		h, err := ws.RegisterQuery(nq.Name, nq.Query, dyncq.Options{Force: nq.Force})
+		h, err := ws.RegisterQuery(nq.Name, nq.Query, dyncq.Options{Force: nq.Force, Shards: shards})
 		if err != nil {
 			return zero, nil, fmt.Errorf("multi case %s: register %s: %w", cfg.Name, nq.Name, err)
 		}

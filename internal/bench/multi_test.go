@@ -24,6 +24,53 @@ func multiTestConfig(t *testing.T) MultiConfig {
 		Stream:    workload.RandomStream(rng, schema, 12, 300, 0.35),
 		BatchSize: 32,
 		Repeat:    2,
+		Workers:   []int{1, 2},
+	}
+}
+
+// TestRunMultiScaling: the scaling phase records one entry per worker
+// count, byte-identical results across counts, and a speedup baseline.
+func TestRunMultiScaling(t *testing.T) {
+	res, err := RunMulti(multiTestConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scaling) != 2 {
+		t.Fatalf("scaling entries = %d, want 2", len(res.Scaling))
+	}
+	for _, sc := range res.Scaling {
+		if !sc.MatchesWorkers1 {
+			t.Errorf("workers=%d result diverges from workers=1", sc.Workers)
+		}
+		if sc.TotalNS <= 0 {
+			t.Errorf("workers=%d: no time recorded", sc.Workers)
+		}
+		if sc.SpeedupVs1 <= 0 {
+			t.Errorf("workers=%d: speedup %.2f, want > 0", sc.Workers, sc.SpeedupVs1)
+		}
+	}
+}
+
+// TestRunMultiScalingWithoutBaseline: a Workers list that omits (or
+// reorders) the workers=1 entry still gets correct byte-identical bits
+// and speedups — an unrecorded workers=1 baseline runs implicitly.
+func TestRunMultiScalingWithoutBaseline(t *testing.T) {
+	cfg := multiTestConfig(t)
+	cfg.Workers = []int{4, 2} // no 1, descending order
+	res, err := RunMulti(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scaling) != 2 {
+		t.Fatalf("scaling entries = %d, want 2", len(res.Scaling))
+	}
+	for _, sc := range res.Scaling {
+		if !sc.MatchesWorkers1 {
+			t.Errorf("workers=%d falsely reported as diverging from workers=1", sc.Workers)
+		}
+		if sc.SpeedupVs1 <= 0 {
+			t.Errorf("workers=%d: speedup %.2f, want > 0 (baseline missing?)", sc.Workers, sc.SpeedupVs1)
+		}
 	}
 }
 

@@ -1,0 +1,72 @@
+package bench
+
+import "fmt"
+
+// This file implements the scaling summary behind `dyncq bench
+// -speedup`: a human-readable digest of every parallel measurement in a
+// report, plus soft notices when parallel scaling under-delivers. The
+// notices are advisory, never a hard failure — scaling depends on the
+// machine (a 1-core container can only report ≈1×), so CI surfaces them
+// as annotations instead of failing the build.
+
+// SpeedupOptions tunes the scaling summary.
+type SpeedupOptions struct {
+	// MinAtTwo is the speedup the summary expects from workers=2 on a
+	// multi-core machine; measurements below it (on sharded paths only)
+	// earn a notice. The default used by the CLI is 1.2.
+	MinAtTwo float64
+}
+
+// SpeedupSummary digests every parallel phase of the report into
+// summary lines and under-scaling notices. On a single-CPU machine
+// notices are suppressed (parallel speedup is physically impossible)
+// and replaced by one line saying so.
+func SpeedupSummary(r Report, opt SpeedupOptions) (lines, notices []string) {
+	minAtTwo := opt.MinAtTwo
+	if minAtTwo <= 0 {
+		minAtTwo = 1.2
+	}
+	multiCore := r.NumCPU > 1
+	lines = append(lines, fmt.Sprintf("machine: %d CPU, GOMAXPROCS %d, %s", r.NumCPU, r.Gomaxprocs, r.GoVersion))
+	for _, c := range r.Cases {
+		for _, s := range c.Strategies {
+			for _, p := range s.Parallel {
+				if p.Workers == 1 {
+					continue
+				}
+				mode := "sequential pipeline"
+				if p.Sharded {
+					mode = "sharded"
+				}
+				lines = append(lines, fmt.Sprintf("%s/%s workers=%d (%s): %.2fx vs workers=1 (%.0f updates/s)",
+					c.Name, s.Strategy, p.Workers, mode, p.SpeedupVs1, p.UpdatesPerSec))
+				if multiCore && p.Sharded && p.Workers == 2 && p.SpeedupVs1 > 0 && p.SpeedupVs1 < minAtTwo {
+					notices = append(notices, fmt.Sprintf("%s/%s: workers=2 speedup %.2fx < %.2fx",
+						c.Name, s.Strategy, p.SpeedupVs1, minAtTwo))
+				}
+			}
+		}
+	}
+	for _, m := range r.Multi {
+		for _, sc := range m.Scaling {
+			if sc.Workers == 1 {
+				continue
+			}
+			ok := "byte-identical to workers=1"
+			if !sc.MatchesWorkers1 {
+				ok = "DIVERGES FROM workers=1"
+			}
+			lines = append(lines, fmt.Sprintf("multi/%s workers=%d: %.2fx vs workers=1 (%.0f updates/s, %s)",
+				m.Name, sc.Workers, sc.SpeedupVs1, sc.UpdatesPerSec, ok))
+			if multiCore && sc.Workers == 2 && sc.SpeedupVs1 > 0 && sc.SpeedupVs1 < minAtTwo {
+				notices = append(notices, fmt.Sprintf("multi/%s: workers=2 speedup %.2fx < %.2fx",
+					m.Name, sc.SpeedupVs1, minAtTwo))
+			}
+		}
+	}
+	if !multiCore {
+		lines = append(lines, "single-CPU machine: parallel scaling is not expected here, notices suppressed")
+		notices = nil
+	}
+	return lines, notices
+}

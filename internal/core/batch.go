@@ -15,46 +15,53 @@ import (
 // procedure on the survivors.
 
 // ApplyBatch executes a batch of update commands as one block. The batch
-// is first coalesced (dyndb.Coalesce), so insert/delete pairs on the same
-// tuple cancel and only the net commands touch the data structure; each
-// surviving command runs the constant-time update procedure of Section
-// 6.4. It returns the number of net commands that changed the database,
-// stopping at the first error. Arity-against-schema errors are detected
-// before anything is applied, so such a batch is rejected atomically
-// (matching ivm.Maintainer.ApplyBatch). The engine version advances at
-// most once per batch — including on an error after partial application,
-// so outstanding iterators are always invalidated when the structure
-// changed.
+// is reduced to its net delta against the current database
+// (dyndb.NetDelta: coalesced, arity-validated against the query schema
+// AND the stored relations, no-ops dropped); each surviving command runs
+// the constant-time update procedure of Section 6.4. It returns the
+// number of net commands that changed the database. Validation is
+// atomic: any arity error — against the query schema, a stored foreign
+// relation, or an inconsistency within the batch itself — rejects the
+// whole batch with nothing applied (matching ivm.Maintainer.ApplyBatch
+// and the workspace front door). The engine version advances exactly
+// once per batch that changed anything, so outstanding iterators are
+// invalidated iff the structure moved.
 func (e *Engine) ApplyBatch(updates []dyndb.Update) (applied int, err error) {
 	if e.extStore {
 		return 0, errSharedStore
 	}
-	defer func() {
-		if applied > 0 {
-			e.version++
-		}
-	}()
-	net := dyndb.Coalesce(updates)
-	for _, u := range net {
-		if want, ok := e.schema[u.Rel]; ok && want != len(u.Tuple) {
-			return 0, arityErr(u.Rel, want, len(u.Tuple))
-		}
+	survivors, err := e.netDelta(updates)
+	if err != nil || len(survivors) == 0 {
+		return 0, err
 	}
-	for _, u := range net {
-		changed, err := e.db.Apply(u)
-		if err != nil {
-			return applied, err
-		}
-		if !changed {
-			continue
+	e.version++
+	for _, u := range survivors {
+		if changed, err := e.db.Apply(u); err != nil || !changed {
+			panic(fmt.Sprintf("core: validated delta failed to apply at %s (changed=%v err=%v)", u, changed, err))
 		}
 		insert := u.Op == dyndb.OpInsert
 		for _, ref := range e.rels[u.Rel] {
 			e.updateAtom(ref, u.Tuple, insert)
 		}
-		applied++
 	}
-	return applied, nil
+	return len(survivors), nil
+}
+
+// netDelta validates a batch against the query schema and reduces it to
+// the net delta against the engine's database — the shared validation
+// front of ApplyBatch and ApplyBatchParallel. A nil slice with a nil
+// error means the batch is a no-op.
+func (e *Engine) netDelta(updates []dyndb.Update) ([]dyndb.Update, error) {
+	for _, u := range updates {
+		if want, ok := e.schema[u.Rel]; ok && want != len(u.Tuple) {
+			return nil, arityErr(u.Rel, want, len(u.Tuple))
+		}
+	}
+	survivors, err := e.db.NetDelta(updates)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return survivors, nil
 }
 
 // loadBulk builds the data structure for an initial database in two

@@ -130,40 +130,50 @@ func TestApplyBatchArityError(t *testing.T) {
 	}
 }
 
-// TestApplyBatchErrorInvalidatesIterators: a batch that mutates the
-// structure and then errors must still advance the version, so a stale
-// iterator panics instead of walking mutated lists.
-func TestApplyBatchErrorInvalidatesIterators(t *testing.T) {
+// TestApplyBatchForeignArityAtomicRejection: an arity conflict on a
+// relation outside the query schema (invisible to the schema check, but
+// caught by dyndb.NetDelta's validation against the stored relations)
+// rejects the whole batch with nothing applied — the same atomic
+// contract as query-schema errors, so a failed batch never advances the
+// version and outstanding iterators stay valid.
+func TestApplyBatchForeignArityAtomicRejection(t *testing.T) {
 	e := mustEngine(t, "Q(y) :- E(x,y), T(y)")
 	if _, err := e.ApplyBatch([]dyndb.Update{dyndb.Insert("E", 1, 2), dyndb.Insert("T", 2)}); err != nil {
 		t.Fatal(err)
 	}
-	it := e.Iterator()
-	if _, ok := it.Next(); !ok {
-		t.Fatal("expected one tuple")
-	}
-	// The delete applies and unlinks items; the unknown-relation arity
-	// conflict errors afterwards (schema pre-validation cannot see it).
 	if _, err := e.Insert("X", 1); err != nil {
 		t.Fatal(err)
 	}
-	it = e.Iterator()
+	it := e.Iterator()
 	n, err := e.ApplyBatch([]dyndb.Update{
 		dyndb.Delete("T", 2),
-		dyndb.Insert("X", 1, 2), // X exists with arity 1: db-level error
+		dyndb.Insert("X", 1, 2), // X exists with arity 1: rejected atomically
 	})
 	if err == nil {
 		t.Fatal("expected a db-level arity error")
 	}
-	if n != 1 {
-		t.Fatalf("applied = %d before the error, want 1", n)
+	if n != 0 {
+		t.Fatalf("applied = %d on a rejected batch, want 0", n)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("Next on an iterator staled by an erroring batch did not panic")
-		}
-	}()
-	it.Next()
+	if e.Count() != 1 {
+		t.Fatalf("count = %d after rejected batch, want 1 (nothing applied)", e.Count())
+	}
+	// Nothing changed, so the iterator from before the failed batch is
+	// still usable.
+	if _, ok := it.Next(); !ok {
+		t.Fatal("iterator invalidated by a rejected batch")
+	}
+	// An inconsistency within the batch itself is caught the same way.
+	n, err = e.ApplyBatch([]dyndb.Update{
+		dyndb.Insert("Y", 1),
+		dyndb.Insert("Y", 1, 2), // clashes with the batch's own declaration
+	})
+	if err == nil || n != 0 {
+		t.Fatalf("intra-batch arity clash: n=%d err=%v, want 0 and an error", n, err)
+	}
+	if err := e.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
 }
 
 // TestBulkLoadMatchesReplayAndOracle compares the bulk Load path against

@@ -222,8 +222,11 @@ func NewSharded(q *cq.Query, shards int) (*Engine, error) {
 		return nil, fmt.Errorf("core.New: %w", err)
 	}
 	e := &Engine{
-		query:      q,
-		db:         dyndb.New(),
+		query: q,
+		// The private database shares the engine's shard count, so the
+		// parallel batch path can apply the store phase shard-disjoint
+		// (dyndb.ApplyNetDelta) concurrently with the structure phase.
+		db:         dyndb.NewSharded(pow),
 		rels:       make(map[string][]atomRef),
 		schema:     q.Schema(),
 		shardCount: pow,
@@ -487,7 +490,7 @@ func (e *Engine) Load(db *dyndb.Database) error {
 // counter is preserved (loadBulk bumps it), keeping iterator invalidation
 // monotonic.
 func (e *Engine) reset() {
-	e.db = dyndb.New()
+	e.db = dyndb.NewSharded(e.shardCount)
 	e.clearStructure()
 }
 

@@ -27,15 +27,21 @@ type bucketOp struct {
 
 // ApplyBatchParallel executes a batch like ApplyBatch but runs the
 // per-atom update procedures on up to workers goroutines, sharded by
-// component root value. The observable result (database, counters, lists,
+// component root value, while the database phase applies the same net
+// delta shard-disjoint on the store's own shards (dyndb.ApplyNetDelta)
+// CONCURRENTLY with the structure phase — the update procedures never
+// read the stored database, so the formerly sequential db phase now
+// overlaps with per-shard structure work instead of serialising in
+// front of it. The observable result (database, counters, lists,
 // enumeration order, applied count) is identical to ApplyBatch on an
 // engine with the same shard count. On an unsharded engine, with workers
 // <= 1, or when the batch yields at most one nonempty bucket, it falls
-// back to the sequential path. The engine version advances at most once
-// per batch. Like every Engine method it must not run concurrently with
-// other engine use — it parallelises the inside of one batch; callers
-// wanting concurrent batches and readers use pkg/dyncq.ConcurrentSession,
-// which serialises commits behind a lock.
+// back to the sequential path. Validation is atomic, exactly as in
+// ApplyBatch. The engine version advances at most once per batch. Like
+// every Engine method it must not run concurrently with other engine
+// use — it parallelises the inside of one batch; callers wanting
+// concurrent batches and readers use pkg/dyncq.ConcurrentSession, which
+// serialises commits behind a lock.
 func (e *Engine) ApplyBatchParallel(updates []dyndb.Update, workers int) (applied int, err error) {
 	if e.extStore {
 		return 0, errSharedStore
@@ -43,43 +49,42 @@ func (e *Engine) ApplyBatchParallel(updates []dyndb.Update, workers int) (applie
 	if workers <= 1 || e.shardCount == 1 || len(e.comps) == 0 {
 		return e.ApplyBatch(updates)
 	}
-	net := dyndb.Coalesce(updates)
-	for _, u := range net {
-		if want, ok := e.schema[u.Rel]; ok && want != len(u.Tuple) {
-			return 0, arityErr(u.Rel, want, len(u.Tuple))
-		}
+	survivors, err := e.netDelta(updates)
+	if err != nil || len(survivors) == 0 {
+		return 0, err
 	}
-	defer func() {
-		if applied > 0 {
-			e.version++
-		}
+	e.version++
+	// Database phase on its own goroutine, overlapping the structure
+	// phase below. The worker budget is split between the two phases so
+	// the overlap never runs ~2×workers goroutines: the db phase (cheap
+	// map writes) gets at most half, the structure phase (the per-atom
+	// procedures, the expensive side) the rest. Small deltas keep the db
+	// phase sequential anyway (dyndb.minParallelDelta), leaving the full
+	// budget to the structure phase. A contract-violation panic from
+	// ApplyNetDelta is re-raised on the caller's stack, preserving the
+	// sequential path's failure semantics (recoverable by the caller,
+	// full stack context).
+	dbWorkers := workers / 2
+	structWorkers := workers
+	if e.db.Shards() > 1 && dbWorkers > 1 && len(survivors) >= dyndb.MinParallelDelta {
+		structWorkers = workers - dbWorkers
+	} else {
+		dbWorkers = 1
+	}
+	var dbWG sync.WaitGroup
+	var dbPanic any
+	dbWG.Add(1)
+	go func() {
+		defer dbWG.Done()
+		defer func() { dbPanic = recover() }()
+		e.db.ApplyNetDelta(survivors, dbWorkers)
 	}()
-	// Database phase (sequential): apply the net commands to the stored
-	// database, keeping the survivors that actually changed it. A db-level
-	// error (an arity conflict on a relation outside the query schema)
-	// aborts the rest of the batch; the structure is caught up with the
-	// survivors so far, exactly like the sequential path.
-	survivors := make([]dyndb.Update, 0, len(net))
-	for _, u := range net {
-		changed, dbErr := e.db.Apply(u)
-		if dbErr != nil {
-			for _, s := range survivors {
-				for _, ref := range e.rels[s.Rel] {
-					e.updateAtom(ref, s.Tuple, s.Op == dyndb.OpInsert)
-				}
-			}
-			return applied, dbErr
-		}
-		if changed {
-			survivors = append(survivors, u)
-			applied++
-		}
+	e.runDeltaParallel(survivors, structWorkers)
+	dbWG.Wait()
+	if dbPanic != nil {
+		panic(dbPanic)
 	}
-	if len(survivors) == 0 {
-		return 0, nil
-	}
-	e.runDeltaParallel(survivors, workers)
-	return applied, nil
+	return len(survivors), nil
 }
 
 // runDeltaParallel runs the per-atom update procedures for a net delta

@@ -190,9 +190,9 @@ func TestApplyBatchParallelDrain(t *testing.T) {
 	}
 }
 
-// TestApplyBatchParallelErrors: arity-vs-schema errors reject the batch
-// atomically; a db-level error midway leaves the structure consistent
-// with the database, exactly like the sequential path.
+// TestApplyBatchParallelErrors: arity errors — against the query schema
+// or against a stored relation outside it — reject the whole batch
+// atomically, exactly like the sequential path.
 func TestApplyBatchParallelErrors(t *testing.T) {
 	q := cq.MustParse("Q(y) :- E(x,y), T(y)")
 	e, err := NewSharded(q, 4)
@@ -208,25 +208,28 @@ func TestApplyBatchParallelErrors(t *testing.T) {
 	if e.Cardinality() != 0 {
 		t.Fatalf("|D| = %d after rejected batch, want 0 (atomic rejection)", e.Cardinality())
 	}
-	// db-level error on a relation outside the query schema, after part of
-	// the batch reached the database: the structure must be caught up.
+	// db-level error on a relation outside the query schema: NetDelta's
+	// store validation rejects the batch with nothing applied.
 	if _, err := e.Apply(dyndb.Insert("X", 1)); err != nil {
 		t.Fatal(err)
 	}
 	n, err := e.ApplyBatchParallel([]dyndb.Update{
 		dyndb.Insert("E", 1, 2),
 		dyndb.Insert("T", 2),
-		dyndb.Insert("X", 1, 2), // X exists with arity 1: db-level error
+		dyndb.Insert("X", 1, 2), // X exists with arity 1: rejected atomically
 		dyndb.Insert("E", 3, 4),
 	}, 4)
 	if err == nil {
 		t.Fatal("expected a db-level arity error")
 	}
-	if n != 2 {
-		t.Errorf("applied = %d before the error, want 2", n)
+	if n != 0 {
+		t.Errorf("applied = %d on a rejected batch, want 0", n)
 	}
-	if e.Count() != 1 {
-		t.Errorf("count = %d after partial batch, want 1", e.Count())
+	if e.Count() != 0 {
+		t.Errorf("count = %d after rejected batch, want 0", e.Count())
+	}
+	if e.Cardinality() != 1 {
+		t.Errorf("|D| = %d after rejected batch, want 1 (only the X tuple)", e.Cardinality())
 	}
 	if err := e.checkInvariants(); err != nil {
 		t.Fatal(err)

@@ -56,30 +56,62 @@ func Delete(rel string, tuple ...Value) Update {
 	return Update{Op: OpDelete, Rel: rel, Tuple: tuple}
 }
 
-// Relation is a finite set of tuples of a fixed arity.
+// Relation is a finite set of tuples of a fixed arity. Its tuple storage
+// is split into the owning database's fixed number of hash shards (one
+// for the default New database): a tuple lives in the shard selected by
+// updateHash, the same hash Partition buckets commands by, so a net
+// batch partitioned by that hash touches pairwise disjoint shard maps —
+// the property ApplyNetDelta's parallel workers rely on.
 type Relation struct {
 	name   string
 	arity  int
-	tuples *tuplekey.Map[struct{}]
+	shards []*tuplekey.Map[struct{}]
 }
 
 // Arity returns the relation's arity.
 func (r *Relation) Arity() int { return r.arity }
 
 // Len returns |R^D|.
-func (r *Relation) Len() int { return r.tuples.Len() }
+func (r *Relation) Len() int {
+	n := 0
+	for _, m := range r.shards {
+		n += m.Len()
+	}
+	return n
+}
+
+// shard returns the shard map storing the tuple.
+func (r *Relation) shard(tuple []Value) *tuplekey.Map[struct{}] {
+	if len(r.shards) == 1 {
+		return r.shards[0]
+	}
+	return r.shards[updateHash(r.name, tuple)%uint64(len(r.shards))]
+}
 
 // Has reports whether the tuple is present.
 func (r *Relation) Has(tuple []Value) bool {
-	_, ok := r.tuples.Get(tuple)
+	_, ok := r.shard(tuple).Get(tuple)
 	return ok
 }
 
 // Each calls fn for every tuple until fn returns false. The tuple slice
 // passed to fn is owned by the relation and must not be mutated. The
-// relation must not be modified during iteration.
+// relation must not be modified during iteration. Shards are visited in
+// index order (with one shard this is exactly the pre-shard iteration).
 func (r *Relation) Each(fn func(tuple []Value) bool) {
-	r.tuples.Range(func(k []int64, _ struct{}) bool { return fn(k) })
+	for _, m := range r.shards {
+		stop := false
+		m.Range(func(k []int64, _ struct{}) bool {
+			if !fn(k) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if stop {
+			return
+		}
+	}
 }
 
 // Tuples returns all tuples, sorted lexicographically (deterministic for
@@ -104,23 +136,85 @@ func lessTuple(a, b []Value) bool {
 }
 
 // Database is a σ-db: a set of named relations. The zero value is not
-// ready; use New.
+// ready; use New or NewSharded.
 type Database struct {
-	rels map[string]*Relation
+	// shards is the fixed number of hash shards every relation's tuple
+	// map and the adom occurrence counts are split into. 1 (New's
+	// default) is bit-identical to the pre-shard single-map layout; more
+	// shards let ApplyNetDelta apply a net batch on parallel workers.
+	shards int
+	rels   map[string]*Relation
 	// adom counts occurrences of every constant across all stored tuples
-	// so that deletions maintain the active domain exactly.
-	adom     map[Value]int
+	// so that deletions maintain the active domain exactly, split by
+	// value hash into the same number of shards as the relations.
+	adom     []map[Value]int
 	adomSize int
 	card     int // |D|: total number of tuples
 	// muts counts successful mutations (inserts + deletes that changed the
 	// database) over the store's lifetime — the quantity the workspace
 	// layer's "shared store applied once per batch" claim is measured in.
 	muts uint64
+	// epoch counts state transitions: every successful mutation and every
+	// Clear advances it. Structures maintained alongside the store (the
+	// eval.IndexSet) record the epoch they are synchronised to and fall
+	// back to a rebuild when the store moved without notifying them.
+	epoch uint64
 }
 
-// New returns an empty database with no declared relations.
-func New() *Database {
-	return &Database{rels: make(map[string]*Relation), adom: make(map[Value]int)}
+// New returns an empty unsharded database with no declared relations.
+func New() *Database { return NewSharded(1) }
+
+// NewSharded returns an empty database whose relation tuple maps and
+// adom counts are split into the given number of hash shards (values
+// < 1 mean 1). One shard is the default layout; more shards change no
+// observable content — only the internal partitioning that lets
+// ApplyNetDelta run a net batch on parallel workers.
+func NewSharded(shards int) *Database {
+	if shards < 1 {
+		shards = 1
+	}
+	return &Database{shards: shards, rels: make(map[string]*Relation), adom: newAdom(shards)}
+}
+
+func newAdom(shards int) []map[Value]int {
+	adom := make([]map[Value]int, shards)
+	for i := range adom {
+		adom[i] = make(map[Value]int)
+	}
+	return adom
+}
+
+// Shards returns the number of hash shards of the store (1 for New).
+func (d *Database) Shards() int { return d.shards }
+
+// Epoch returns the number of state transitions (successful mutations
+// and Clears) the store has undergone. Companion structures use it to
+// detect having missed updates (see eval.IndexSet).
+func (d *Database) Epoch() uint64 { return d.epoch }
+
+// updateHash is the hash both Partition and the relation shard maps
+// bucket a command by: the tuple hash folded with the relation name, so
+// commands on the same (relation, tuple) pair always land together.
+func updateHash(rel string, tuple []Value) uint64 {
+	h := tuplekey.Hash(tuple)
+	for i := 0; i < len(rel); i++ {
+		h = h*0x100000001b3 ^ uint64(rel[i])
+	}
+	return h
+}
+
+// adomShard returns the index of the adom shard counting v.
+func (d *Database) adomShard(v Value) int {
+	if d.shards == 1 {
+		return 0
+	}
+	z := uint64(v) + 0x9e3779b97f4a7c15
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int(z % uint64(d.shards))
 }
 
 // EnsureRelation declares a relation with the given arity (idempotent).
@@ -135,7 +229,11 @@ func (d *Database) EnsureRelation(name string, arity int) error {
 		}
 		return nil
 	}
-	d.rels[name] = &Relation{name: name, arity: arity, tuples: tuplekey.NewMap[struct{}](0)}
+	shards := make([]*tuplekey.Map[struct{}], d.shards)
+	for i := range shards {
+		shards[i] = tuplekey.NewMap[struct{}](0)
+	}
+	d.rels[name] = &Relation{name: name, arity: arity, shards: shards}
 	return nil
 }
 
@@ -164,16 +262,19 @@ func (d *Database) Insert(rel string, tuple ...Value) (bool, error) {
 	if r.arity != len(tuple) {
 		return false, fmt.Errorf("insert %s: tuple arity %d, relation arity %d", rel, len(tuple), r.arity)
 	}
-	if r.Has(tuple) {
+	m := r.shard(tuple)
+	if _, ok := m.Get(tuple); ok {
 		return false, nil
 	}
 	stored := append([]Value(nil), tuple...)
-	r.tuples.Put(stored, struct{}{})
+	m.Put(stored, struct{}{})
 	d.card++
 	d.muts++
+	d.epoch++
 	for _, v := range stored {
-		d.adom[v]++
-		if d.adom[v] == 1 {
+		a := d.adom[d.adomShard(v)]
+		a[v]++
+		if a[v] == 1 {
 			d.adomSize++
 		}
 	}
@@ -190,16 +291,18 @@ func (d *Database) Delete(rel string, tuple ...Value) (bool, error) {
 	if r.arity != len(tuple) {
 		return false, fmt.Errorf("delete %s: tuple arity %d, relation arity %d", rel, len(tuple), r.arity)
 	}
-	if !r.tuples.Delete(tuple) {
+	if !r.shard(tuple).Delete(tuple) {
 		return false, nil
 	}
 	d.card--
 	d.muts++
+	d.epoch++
 	for _, v := range tuple {
-		d.adom[v]--
-		if d.adom[v] == 0 {
+		a := d.adom[d.adomShard(v)]
+		a[v]--
+		if a[v] == 0 {
 			d.adomSize--
-			delete(d.adom, v)
+			delete(a, v)
 		}
 	}
 	return true, nil
@@ -217,12 +320,14 @@ func (d *Database) Mutations() uint64 { return d.muts }
 // database to the empty state in place. Unlike assigning a fresh New(),
 // Clear keeps the *Database pointer valid for every structure holding a
 // reference to it — the shared-store contract of the workspace layer.
-// The mutation counter is preserved.
+// The mutation counter and the shard count are preserved; the epoch
+// advances (the content changed without per-tuple notifications).
 func (d *Database) Clear() {
 	d.rels = make(map[string]*Relation)
-	d.adom = make(map[Value]int)
+	d.adom = newAdom(d.shards)
 	d.adomSize = 0
 	d.card = 0
+	d.epoch++
 }
 
 // CopyFrom inserts every tuple of src into d, declaring src's relations
@@ -341,11 +446,7 @@ func Partition(updates []Update, shards int) [][]Update {
 	}
 	out := make([][]Update, shards)
 	for _, u := range updates {
-		h := tuplekey.Hash(u.Tuple)
-		for i := 0; i < len(u.Rel); i++ {
-			h = h*0x100000001b3 ^ uint64(u.Rel[i])
-		}
-		s := h % uint64(shards)
+		s := updateHash(u.Rel, u.Tuple) % uint64(shards)
 		out[s] = append(out[s], u)
 	}
 	return out
@@ -375,13 +476,15 @@ func (d *Database) Cardinality() int { return d.card }
 func (d *Database) ActiveDomainSize() int { return d.adomSize }
 
 // InActiveDomain reports whether v occurs in some stored tuple.
-func (d *Database) InActiveDomain(v Value) bool { return d.adom[v] > 0 }
+func (d *Database) InActiveDomain(v Value) bool { return d.adom[d.adomShard(v)][v] > 0 }
 
 // ActiveDomain returns the active domain in sorted order.
 func (d *Database) ActiveDomain() []Value {
 	out := make([]Value, 0, d.adomSize)
-	for v := range d.adom {
-		out = append(out, v)
+	for _, a := range d.adom {
+		for v := range a {
+			out = append(out, v)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
@@ -397,9 +500,9 @@ func (d *Database) Size() int {
 	return s
 }
 
-// Clone returns a deep copy of the database.
+// Clone returns a deep copy of the database (same shard count).
 func (d *Database) Clone() *Database {
-	c := New()
+	c := NewSharded(d.shards)
 	for name, r := range d.rels {
 		if err := c.EnsureRelation(name, r.arity); err != nil {
 			panic(err) // fresh database: cannot conflict

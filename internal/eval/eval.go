@@ -339,11 +339,24 @@ func planOrder(atoms []catom, db *dyndb.Database) []int {
 
 // IndexSet is a collection of hash indexes over a database's relations,
 // keyed by (relation, bound-position mask). Indexes are built lazily on
-// first use and can be maintained incrementally under updates, which is
-// how the IVM baseline keeps its residual joins fast without rescanning.
+// first use and maintained incrementally under updates, which is how the
+// IVM baseline keeps its residual joins fast without rescanning.
+//
+// The set records the store epoch (dyndb.Database.Epoch) it is
+// synchronised to: every ApplyUpdate/ApplyDelta call advances the
+// recorded epoch in lockstep with the store's own counter, so as long
+// as the owner notifies the set of every mutation, built indexes stay
+// warm indefinitely — across IVM batches and (via Reload) across Loads
+// of overlapping databases. If the store moved without notification
+// (direct writes, a Clear the owner chose not to diff), the next Get
+// detects the epoch mismatch and falls back to dropping every index;
+// they are then rebuilt lazily by relation scans, exactly as on first
+// use. Incremental maintenance is an optimisation with a rebuild safety
+// net, never a correctness risk.
 type IndexSet struct {
-	db  *dyndb.Database
-	idx map[indexKey]*Index
+	db    *dyndb.Database
+	idx   map[indexKey]*Index
+	epoch uint64 // store epoch the indexes reflect
 }
 
 type indexKey struct {
@@ -359,14 +372,53 @@ type Index struct {
 	buckets map[string]map[string][]Value // projKey → tupleKey → tuple
 }
 
-// NewIndexSet returns an empty index set over db.
+// NewIndexSet returns an empty index set over db, synchronised to its
+// current epoch.
 func NewIndexSet(db *dyndb.Database) *IndexSet {
-	return &IndexSet{db: db, idx: make(map[indexKey]*Index)}
+	return &IndexSet{db: db, idx: make(map[indexKey]*Index), epoch: db.Epoch()}
+}
+
+// Epoch returns the store epoch the indexes reflect.
+func (s *IndexSet) Epoch() uint64 { return s.epoch }
+
+// Synced reports whether the set is up to date with its store: false
+// means the next Get will take the rebuild fallback.
+func (s *IndexSet) Synced() bool { return s.epoch == s.db.Epoch() }
+
+// Built returns the number of built indexes. Owners use it to skip
+// computing an incremental reconciliation no index would benefit from.
+func (s *IndexSet) Built() int { return len(s.idx) }
+
+// IndexedRelations returns the set of relations with at least one built
+// index. A reconciliation diff (Reload) only needs to cover these:
+// commands on any other relation are dropped by the maintenance loop
+// anyway.
+func (s *IndexSet) IndexedRelations() map[string]bool {
+	out := make(map[string]bool, len(s.idx))
+	for k := range s.idx {
+		out[k.rel] = true
+	}
+	return out
+}
+
+// sync is the rebuild fallback: if the store moved without notifying the
+// set, every index is dropped (to be rebuilt lazily) and the epoch
+// resynchronised.
+func (s *IndexSet) sync() {
+	if s.epoch == s.db.Epoch() {
+		return
+	}
+	if len(s.idx) > 0 {
+		s.idx = make(map[indexKey]*Index)
+	}
+	s.epoch = s.db.Epoch()
 }
 
 // Get returns the index for (rel, mask), building it by a relation scan if
-// it does not exist yet.
+// it does not exist yet. A store that moved without notification first
+// invalidates every index (see IndexSet).
 func (s *IndexSet) Get(rel string, mask uint32) *Index {
+	s.sync()
 	k := indexKey{rel, mask}
 	if ix, ok := s.idx[k]; ok {
 		return ix
@@ -387,10 +439,16 @@ func (s *IndexSet) Get(rel string, mask uint32) *Index {
 	return ix
 }
 
-// ApplyUpdate maintains all existing indexes on u.Rel. Call it after the
-// database itself has been updated; it is idempotent with respect to set
-// semantics (inserting a tuple twice stores it once).
+// ApplyUpdate maintains all existing indexes on u.Rel for one command
+// that changed the database. Call it after the store applied the
+// command, exactly once per store-changing command, so the set's epoch
+// advances in lockstep with the store's.
 func (s *IndexSet) ApplyUpdate(u dyndb.Update) {
+	s.epoch++
+	s.applyOne(u)
+}
+
+func (s *IndexSet) applyOne(u dyndb.Update) {
 	for k, ix := range s.idx {
 		if k.rel != u.Rel {
 			continue
@@ -401,6 +459,35 @@ func (s *IndexSet) ApplyUpdate(u dyndb.Update) {
 			ix.remove(u.Tuple)
 		}
 	}
+}
+
+// ApplyDelta maintains all existing indexes under a net delta the store
+// already applied (each command having changed the database — e.g. the
+// survivors handed to dyndb.ApplyNetDelta). The epoch advances by the
+// delta length, staying in lockstep with the store.
+func (s *IndexSet) ApplyDelta(survivors []dyndb.Update) {
+	s.epoch += uint64(len(survivors))
+	if len(s.idx) == 0 {
+		return
+	}
+	for _, u := range survivors {
+		s.applyOne(u)
+	}
+}
+
+// Reload reconciles the set with a store whose contents were wholesale
+// replaced (Clear + CopyFrom): diff must be a net delta transforming the
+// pre-replacement contents into the current ones. Existing indexes are
+// patched tuple by tuple — the incremental alternative to the rebuild
+// fallback a bare Clear would trigger — and the epoch resynchronises to
+// the store's current value. With no built indexes it only resyncs.
+func (s *IndexSet) Reload(diff []dyndb.Update) {
+	if len(s.idx) > 0 {
+		for _, u := range diff {
+			s.applyOne(u)
+		}
+	}
+	s.epoch = s.db.Epoch()
 }
 
 func (ix *Index) projKey(t []Value) string {

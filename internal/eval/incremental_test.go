@@ -1,0 +1,205 @@
+package eval
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"dyncq/internal/dyndb"
+)
+
+// dumpIndex flattens an index into sorted (projKey, tupleKey) pairs for
+// order-insensitive comparison.
+func dumpIndex(ix *Index) []string {
+	var out []string
+	for pk, b := range ix.buckets {
+		for tk := range b {
+			out = append(out, pk+"\x00"+tk)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// checkAgainstFresh compares every built index of s against a fresh
+// build over the same database.
+func checkAgainstFresh(t *testing.T, s *IndexSet, db *dyndb.Database) {
+	t.Helper()
+	if err := s.SanityCheck(); err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewIndexSet(db)
+	for k, ix := range s.idx {
+		want := fresh.Get(k.rel, k.mask)
+		if !reflect.DeepEqual(dumpIndex(ix), dumpIndex(want)) {
+			t.Fatalf("index (%s,%b) diverges from a fresh build", k.rel, k.mask)
+		}
+	}
+}
+
+// TestIndexSetIncrementalMatchesFresh is the property test of the
+// incrementally maintained index set: a randomised stream of inserts,
+// deletes, and Load-style wholesale replacements (Clear + CopyFrom +
+// Reload with the diff), interleaved with index builds on random masks,
+// leaves every index equal to a fresh NewIndexSet build over the same
+// database.
+func TestIndexSetIncrementalMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 10; trial++ {
+		db := dyndb.New()
+		s := NewIndexSet(db)
+		randomUpdate := func() dyndb.Update {
+			v1, v2 := int64(rng.Intn(12)), int64(rng.Intn(12))
+			if rng.Intn(3) == 0 {
+				if rng.Intn(2) == 0 {
+					return dyndb.Insert("T", v1)
+				}
+				return dyndb.Delete("T", v1)
+			}
+			if rng.Intn(2) == 0 {
+				return dyndb.Insert("E", v1, v2)
+			}
+			return dyndb.Delete("E", v1, v2)
+		}
+		masks := []struct {
+			rel  string
+			mask uint32
+		}{{"E", 1}, {"E", 2}, {"E", 3}, {"T", 1}}
+		for step := 0; step < 400; step++ {
+			switch r := rng.Intn(20); {
+			case r == 0:
+				// Load-style replacement of the whole contents: build the
+				// target database, diff, swap, reconcile.
+				target := dyndb.New()
+				for i := 0; i < rng.Intn(30); i++ {
+					if u := randomUpdate(); u.Op == dyndb.OpInsert {
+						if _, err := target.Apply(u); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				var diff []dyndb.Update
+				for _, rel := range db.Relations() {
+					old := db.Relation(rel)
+					cur := target.Relation(rel)
+					old.Each(func(tu []int64) bool {
+						if cur == nil || !cur.Has(tu) {
+							diff = append(diff, dyndb.Delete(rel, append([]int64(nil), tu...)...))
+						}
+						return true
+					})
+				}
+				for _, rel := range target.Relations() {
+					old := db.Relation(rel)
+					target.Relation(rel).Each(func(tu []int64) bool {
+						if old == nil || !old.Has(tu) {
+							diff = append(diff, dyndb.Insert(rel, append([]int64(nil), tu...)...))
+						}
+						return true
+					})
+				}
+				db.Clear()
+				if err := db.CopyFrom(target); err != nil {
+					t.Fatal(err)
+				}
+				s.Reload(diff)
+			case r < 4:
+				// Build (or fetch) an index on a random mask.
+				m := masks[rng.Intn(len(masks))]
+				s.Get(m.rel, m.mask)
+			default:
+				u := randomUpdate()
+				changed, err := db.Apply(u)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if changed {
+					s.ApplyUpdate(u)
+				}
+			}
+			if !s.Synced() {
+				t.Fatalf("trial %d step %d: index set lost sync (epoch %d, store %d)", trial, step, s.Epoch(), db.Epoch())
+			}
+		}
+		checkAgainstFresh(t, s, db)
+	}
+}
+
+// TestIndexSetEpochFallback: a store mutated behind the set's back is
+// detected by the epoch check, and the next Get rebuilds from scratch
+// instead of serving stale buckets.
+func TestIndexSetEpochFallback(t *testing.T) {
+	db := dyndb.New()
+	for i := int64(0); i < 10; i++ {
+		if _, err := db.Insert("E", i, i+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := NewIndexSet(db)
+	ix := s.Get("E", 1)
+	if got := len(ix.bucket([]int64{3})); got != 1 {
+		t.Fatalf("bucket(3) has %d tuples, want 1", got)
+	}
+	// Mutate the store without telling the set: stale until the next Get.
+	if _, err := db.Delete("E", 3, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Insert("E", 3, 9); err != nil {
+		t.Fatal(err)
+	}
+	if s.Synced() {
+		t.Fatal("set claims sync after unreported mutations")
+	}
+	ix = s.Get("E", 1)
+	if !s.Synced() {
+		t.Fatal("Get did not resynchronise")
+	}
+	got := ix.bucket([]int64{3})
+	if len(got) != 1 || got[0][1] != 9 {
+		t.Fatalf("rebuilt bucket(3) = %v, want [[3 9]]", got)
+	}
+	checkAgainstFresh(t, s, db)
+
+	// A Clear nobody diffs takes the same fallback.
+	db.Clear()
+	if s.Get("E", 1) == nil || len(s.Get("E", 1).buckets) != 0 {
+		t.Fatal("index after unreported Clear not empty")
+	}
+	if !s.Synced() {
+		t.Fatal("set out of sync after fallback")
+	}
+}
+
+// TestIndexSetApplyDelta: the batch maintenance entry point keeps epoch
+// lockstep with dyndb.ApplyNetDelta.
+func TestIndexSetApplyDelta(t *testing.T) {
+	db := dyndb.NewSharded(4)
+	var initial []dyndb.Update
+	for i := int64(0); i < 50; i++ {
+		initial = append(initial, dyndb.Insert("E", i%10, i))
+	}
+	if err := db.ApplyAll(initial); err != nil {
+		t.Fatal(err)
+	}
+	s := NewIndexSet(db)
+	s.Get("E", 1)
+	var batch []dyndb.Update
+	for i := int64(0); i < 40; i++ {
+		if i%2 == 0 {
+			batch = append(batch, dyndb.Insert("E", i%10, 100+i))
+		} else {
+			batch = append(batch, dyndb.Delete("E", i%10, i))
+		}
+	}
+	delta, err := db.NetDelta(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.ApplyNetDelta(delta, 2)
+	s.ApplyDelta(delta)
+	if !s.Synced() {
+		t.Fatalf("epoch %d after ApplyDelta, store %d", s.Epoch(), db.Epoch())
+	}
+	checkAgainstFresh(t, s, db)
+}

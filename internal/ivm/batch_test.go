@@ -184,13 +184,15 @@ func TestLoadUsesRebuild(t *testing.T) {
 	}
 }
 
-// TestApplyBatchDbErrorKeepsResultConsistent: a db-level arity conflict
-// on a relation outside the query schema (invisible to the upfront
-// check) can strike mid-batch; the materialised result must still match
-// the database afterwards, on both the rebuild and the delta path.
-func TestApplyBatchDbErrorKeepsResultConsistent(t *testing.T) {
+// TestApplyBatchDbErrorRejectsAtomically: a db-level arity conflict —
+// against a stored relation outside the query schema, or within the
+// batch's own declarations — rejects the whole batch with nothing
+// applied, on both the rebuild and the delta path (NetDelta validates
+// before anything moves).
+func TestApplyBatchDbErrorRejectsAtomically(t *testing.T) {
 	q := cq.MustParse("Q(x) :- E(x,y)")
-	// Rebuild path: empty maintainer, batch crosses the heuristic.
+	// Rebuild path: empty maintainer, batch crosses the heuristic. The
+	// batch declares X with arity 1 and then contradicts itself.
 	m, err := New(q)
 	if err != nil {
 		t.Fatal(err)
@@ -198,22 +200,23 @@ func TestApplyBatchDbErrorKeepsResultConsistent(t *testing.T) {
 	n, err := m.ApplyBatch([]dyndb.Update{
 		dyndb.Insert("E", 1, 2),
 		dyndb.Insert("X", 1),
-		dyndb.Insert("X", 1, 2), // X exists with arity 1: db-level error
+		dyndb.Insert("X", 1, 2), // clashes with the batch's own declaration
 	})
 	if err == nil {
 		t.Fatal("expected a db-level arity error")
 	}
-	if n != 2 {
-		t.Errorf("applied = %d before the error, want 2", n)
+	if n != 0 || m.Cardinality() != 0 || m.Count() != 0 {
+		t.Errorf("rejected batch left state behind: n=%d |D|=%d count=%d", n, m.Cardinality(), m.Count())
 	}
-	checkAgainstOracle(t, m, q, m.db, "rebuild path after error")
+	checkAgainstOracle(t, m, q, m.db, "rebuild path after rejection")
 	if _, err := m.Apply(dyndb.Insert("E", 3, 4)); err != nil {
 		t.Fatal(err)
 	}
-	if m.Count() != 2 {
-		t.Errorf("count = %d after recovery insert, want 2", m.Count())
+	if m.Count() != 1 {
+		t.Errorf("count = %d after recovery insert, want 1", m.Count())
 	}
-	// Delta path: batch small against a populated database.
+	// Delta path: batch small against a populated database, conflicting
+	// with a stored foreign relation.
 	rng := rand.New(rand.NewSource(3))
 	db := workload.RandomDatabase(rng, q.Schema(), 8, 60)
 	m2, err := New(q)
@@ -226,11 +229,15 @@ func TestApplyBatchDbErrorKeepsResultConsistent(t *testing.T) {
 	if _, err := m2.Apply(dyndb.Insert("X", 1)); err != nil {
 		t.Fatal(err)
 	}
+	before := m2.Cardinality()
 	if _, err := m2.ApplyBatch([]dyndb.Update{
 		dyndb.Insert("E", 100, 200),
-		dyndb.Insert("X", 1, 2), // db-level error after the E insert
+		dyndb.Insert("X", 1, 2), // X exists with arity 1: rejected atomically
 	}); err == nil {
 		t.Fatal("expected a db-level arity error")
 	}
-	checkAgainstOracle(t, m2, q, m2.db, "delta path after error")
+	if m2.Cardinality() != before {
+		t.Errorf("|D| = %d after rejected batch, want %d", m2.Cardinality(), before)
+	}
+	checkAgainstOracle(t, m2, q, m2.db, "delta path after rejection")
 }

@@ -139,35 +139,62 @@ func (m *Maintainer) ApplyAll(updates []dyndb.Update) error {
 }
 
 // ApplyBatch executes a batch of update commands with batched delta
-// processing. The batch is coalesced to its net commands (dyndb.Coalesce)
-// and no-ops against the current state are dropped; the surviving deltas
-// are grouped per relation, and each relation's deletions and insertions
-// are propagated by one inclusion–exclusion delta evaluation per
-// occurrence subset with the subset's atoms restricted to the whole delta
-// set (eval.Restricted) — the residual join against the base relations
-// runs once per batch instead of once per updated tuple. A batch that
-// rewrites a large fraction of the database instead applies all commands
-// and rebuilds the materialised result with a single full evaluation, the
-// static preprocessing path. Returns the number of net commands that
-// changed the database. Arity-against-schema errors are detected before
-// anything is applied, so such a batch is rejected atomically.
+// processing. The batch is reduced to its net delta against the current
+// database (dyndb.NetDelta: coalesced, arity-validated against the
+// query schema and the stored relations, no-ops dropped); the surviving
+// deltas are grouped per relation, and each relation's deletions and
+// insertions are propagated by one inclusion–exclusion delta evaluation
+// per occurrence subset with the subset's atoms restricted to the whole
+// delta set (eval.Restricted) — the residual join against the base
+// relations runs once per batch instead of once per updated tuple. A
+// batch that rewrites a large fraction of the database instead applies
+// the whole delta through the sequential store path and rebuilds the
+// materialised result with a single full evaluation, the static
+// preprocessing path. Returns the number of net commands that changed
+// the database. Validation is atomic: any arity error rejects the whole
+// batch with nothing applied (matching core.Engine.ApplyBatch and the
+// workspace front door).
 func (m *Maintainer) ApplyBatch(updates []dyndb.Update) (int, error) {
 	if m.shared {
 		return 0, errSharedStore
+	}
+	for _, u := range updates {
+		if want, ok := m.schema[u.Rel]; ok && want != len(u.Tuple) {
+			return 0, fmt.Errorf("ivm: %s has arity %d in query, got tuple of length %d", u.Rel, want, len(u.Tuple))
+		}
+	}
+	survivors, err := m.db.NetDelta(updates)
+	if err != nil {
+		return 0, fmt.Errorf("ivm: %w", err)
+	}
+	if len(survivors) == 0 {
+		return 0, nil
+	}
+	m.version++
+	mustApply := func(u dyndb.Update) {
+		if changed, err := m.db.Apply(u); err != nil || !changed {
+			panic(fmt.Sprintf("ivm: validated delta failed to apply at %s (changed=%v err=%v)", u, changed, err))
+		}
+		m.idx.ApplyUpdate(u)
+	}
+	// Heuristic crossover: once the net batch is a third or more of the
+	// resulting database, |batch| residual joins cost more than rebuilding
+	// the result from scratch once. In particular a bulk load into an
+	// empty maintainer always takes the rebuild path — before the
+	// per-relation grouping below, which only the delta path reads.
+	if len(survivors)*3 >= m.db.Cardinality()+len(survivors) {
+		for _, u := range survivors {
+			mustApply(u)
+		}
+		m.result = eval.CountValuations(m.query, m.db, nil, m.idx)
+		return len(survivors), nil
 	}
 	type relDelta struct {
 		dels, ins [][]Value
 	}
 	deltas := make(map[string]*relDelta)
 	var order []string
-	applied := 0
-	for _, u := range dyndb.Coalesce(updates) {
-		if want, ok := m.schema[u.Rel]; ok && want != len(u.Tuple) {
-			return 0, fmt.Errorf("ivm: %s has arity %d in query, got tuple of length %d", u.Rel, want, len(u.Tuple))
-		}
-		if (u.Op == dyndb.OpInsert) == m.db.Has(u.Rel, u.Tuple...) {
-			continue // no-op under set semantics
-		}
+	for _, u := range survivors {
 		d := deltas[u.Rel]
 		if d == nil {
 			d = &relDelta{}
@@ -179,46 +206,6 @@ func (m *Maintainer) ApplyBatch(updates []dyndb.Update) (int, error) {
 		} else {
 			d.dels = append(d.dels, u.Tuple)
 		}
-		applied++
-	}
-	if applied == 0 {
-		return 0, nil
-	}
-	m.version++
-	// A db-level error (an arity conflict on a relation outside the query
-	// schema, which the upfront check cannot see) can strike after part of
-	// the batch reached the database. Rebuilding the result from the
-	// database restores the maintainer's invariant at full-evaluation
-	// cost — an acceptable price on a path that signals caller error.
-	fail := func(done int, err error) (int, error) {
-		m.result = eval.CountValuations(m.query, m.db, nil, m.idx)
-		return done, err
-	}
-	done := 0
-	// Heuristic crossover: once the net batch is a third or more of the
-	// resulting database, |batch| residual joins cost more than rebuilding
-	// the result from scratch once. In particular a bulk load into an
-	// empty maintainer always takes the rebuild path.
-	if applied*3 >= m.db.Cardinality()+applied {
-		for _, rel := range order {
-			d := deltas[rel]
-			for _, t := range d.dels {
-				if _, err := m.db.Delete(rel, t...); err != nil {
-					return fail(done, err)
-				}
-				m.idx.ApplyUpdate(dyndb.Delete(rel, t...))
-				done++
-			}
-			for _, t := range d.ins {
-				if _, err := m.db.Insert(rel, t...); err != nil {
-					return fail(done, err)
-				}
-				m.idx.ApplyUpdate(dyndb.Insert(rel, t...))
-				done++
-			}
-		}
-		m.result = eval.CountValuations(m.query, m.db, nil, m.idx)
-		return done, nil
 	}
 	for _, rel := range order {
 		d := deltas[rel]
@@ -227,27 +214,26 @@ func (m *Maintainer) ApplyBatch(updates []dyndb.Update) (int, error) {
 			// Pre-state deltas: valuations losing at least one deleted tuple.
 			m.applyDeltaSet(occs, d.dels, -1)
 			for _, t := range d.dels {
-				if _, err := m.db.Delete(rel, t...); err != nil {
-					return fail(done, err)
-				}
-				m.idx.ApplyUpdate(dyndb.Delete(rel, t...))
-				done++
+				mustApply(dyndb.Delete(rel, t...))
 			}
 		}
 		if len(d.ins) > 0 {
 			for _, t := range d.ins {
-				if _, err := m.db.Insert(rel, t...); err != nil {
-					return fail(done, err)
-				}
-				m.idx.ApplyUpdate(dyndb.Insert(rel, t...))
-				done++
+				mustApply(dyndb.Insert(rel, t...))
 			}
 			// Post-state deltas: valuations using at least one new tuple.
 			m.applyDeltaSet(occs, d.ins, +1)
 		}
 	}
-	return done, nil
+	return len(survivors), nil
 }
+
+// SharedBatchRebuilds reports whether the batch opened by
+// BeginSharedBatch chose the full-rebuild crossover: the per-relation
+// delta hooks will no-op, so the workspace is free to apply the store
+// phase shard-parallel instead of relation-phased. Only meaningful
+// between BeginSharedBatch and FinishSharedBatch.
+func (m *Maintainer) SharedBatchRebuilds() bool { return m.rebuildPending }
 
 // Load performs the preprocessing phase for an initial database with
 // reset-then-load semantics: after Load the maintainer represents

@@ -93,6 +93,13 @@ func (c *ConcurrentSession) Parallel() bool {
 	return c.workers > 1 && c.s.h.back.shards() > 1
 }
 
+// Parallelism returns the session's effective worker and shard counts
+// (see Workspace.Parallelism); the single query is registered under the
+// name "q".
+func (c *ConcurrentSession) Parallelism() Parallelism {
+	return c.s.ws.Parallelism()
+}
+
 // Version returns the number of committed state changes (every Load
 // counts as one — even a failed Load discards the prior state, see
 // Session.Load). Two reads inside one View callback see the same

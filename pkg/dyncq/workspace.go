@@ -3,6 +3,7 @@ package dyncq
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dyncq/internal/core"
@@ -63,7 +64,12 @@ type queryBackend interface {
 	// Batch pipeline: beginBatch opens a nonempty net delta; preDelete /
 	// postInsert bracket each relation's store mutation; finishBatch
 	// closes the batch with the full delta once the store is current.
+	// wantsRelationHooks (valid between beginBatch and finishBatch)
+	// reports whether this backend needs the relation-phased store
+	// schedule this batch: when no registered backend does, the workspace
+	// applies the whole net delta to the store shard-parallel instead.
 	beginBatch(survivors int)
+	wantsRelationHooks() bool
 	preDelete(rel string, tuples [][]Value)
 	postInsert(rel string, tuples [][]Value)
 	finishBatch(survivors []Update, workers int)
@@ -82,12 +88,20 @@ type queryBackend interface {
 
 // WorkspaceOptions configures NewWorkspace.
 type WorkspaceOptions struct {
-	// Workers is the number of goroutines each batch's shard-disjoint
-	// deltas are applied on, per core-backed query (<= 1 keeps every
-	// path sequential). Core engines registered without an explicit
-	// Options.Shards are built with 4×Workers shards, exactly as
-	// NewConcurrent derives them.
+	// Workers is the number of goroutines each batch's maintenance work
+	// is spread over (<= 1 keeps every path sequential). It controls
+	// three independent axes of one batch: the shard-parallel store
+	// phase (when no IVM backend needs the relation-phased schedule),
+	// the per-handle fan-out of independent queries' maintenance, and
+	// the shard-disjoint delta application inside each core engine. Core
+	// engines registered without an explicit Options.Shards are built
+	// with 4×Workers shards, exactly as NewConcurrent derives them.
 	Workers int
+	// StoreShards is the number of hash shards the shared store's
+	// relation maps and adom counts are split into. 0 derives it from
+	// Workers (4×Workers when Workers > 1, else 1 — the paper's exact
+	// single-map layout). The shard count changes no observable content.
+	StoreShards int
 }
 
 // Workspace is the shared front door: one dynamic database, one update
@@ -110,8 +124,15 @@ type Workspace struct {
 // Updates applied before any registration only populate the shared
 // store; queries registered later are brought up to date against it.
 func NewWorkspace(opt WorkspaceOptions) *Workspace {
+	shards := opt.StoreShards
+	if shards == 0 && opt.Workers > 1 {
+		shards = 4 * opt.Workers
+	}
+	if shards < 1 {
+		shards = 1
+	}
 	return &Workspace{
-		store:   dyndb.New(),
+		store:   dyndb.NewSharded(shards),
 		schema:  make(map[string]int),
 		owner:   make(map[string]string),
 		handles: make(map[string]*Handle),
@@ -202,7 +223,13 @@ func (h *Handle) ActiveDomainSize() int { return h.ws.ActiveDomainSize() }
 // MaintenanceNS returns the cumulative time the batch pipeline spent
 // maintaining this query, and the number of nonempty batches it
 // participated in. The per-batch delta of the first value is the
-// per-query update latency the bench harness reports.
+// per-query update latency the bench harness reports. The timer is
+// wall-clock: with Workers > 1 the per-handle fan-out runs handles
+// concurrently, so each handle's time includes scheduler contention
+// from the others and the sum over handles can exceed the batch's
+// duration — compare per-handle timings across runs only at the same
+// worker count (the bench harness measures its per-query percentiles
+// on a sequential workspace for exactly this reason).
 func (h *Handle) MaintenanceNS() (ns int64, batches int64) {
 	h.ws.mu.RLock()
 	defer h.ws.mu.RUnlock()
@@ -366,6 +393,39 @@ func (w *Workspace) Handles() []*Handle {
 
 // Workers returns the configured worker count.
 func (w *Workspace) Workers() int { return w.workers }
+
+// Parallelism is the effective parallel configuration of a workspace —
+// what actually engages per batch, not what was requested. CLI and
+// bench reporting read it instead of re-deriving the shard heuristics.
+type Parallelism struct {
+	// Workers is the per-batch worker count (<= 1: every path
+	// sequential).
+	Workers int
+	// StoreShards is the shared store's hash shard count; > 1 means the
+	// store phase applies shard-parallel when no IVM delta-join batch
+	// forces the relation-phased schedule.
+	StoreShards int
+	// QueryShards maps each registered query to its engine's shard
+	// count: > 1 means its delta application runs shard-parallel; 0
+	// means sharding does not apply to its backend (ivm, recompute).
+	QueryShards map[string]int
+}
+
+// Parallelism returns the workspace's effective worker and shard
+// counts.
+func (w *Workspace) Parallelism() Parallelism {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	p := Parallelism{
+		Workers:     w.workers,
+		StoreShards: w.store.Shards(),
+		QueryShards: make(map[string]int, len(w.order)),
+	}
+	for _, h := range w.order {
+		p.QueryShards[h.name] = h.back.shards()
+	}
+	return p
+}
 
 // Schema returns the union relation→arity schema over all registered
 // queries (a copy).
@@ -600,10 +660,63 @@ func (w *Workspace) applyBatchExclusive(updates []Update) (int, error) {
 	for _, h := range w.order {
 		h.back.beginBatch(len(survivors))
 	}
+	perNS := make([]int64, len(w.order))
 
-	// Group the delta per relation, in first-appearance order —
-	// deletions before insertions per relation, the exact schedule of
-	// the single-query IVM batch pipeline.
+	// Store phase. Two schedules, chosen per batch:
+	//
+	//   - If any backend needs the relation-phased schedule (an IVM query
+	//     whose crossover chose delta joins: deletion deltas evaluate on
+	//     the pre-state, insertion deltas on the post-state), each
+	//     relation's mutation is bracketed by the pre/post hooks,
+	//     sequentially.
+	//   - Otherwise the whole net delta goes to the store through the
+	//     shard-disjoint parallel path (dyndb.ApplyNetDelta) — the store
+	//     phase is no longer serialised behind a single map.
+	//
+	// Either way the store (and the shared index) is written exactly once
+	// per net command, independent of the number of queries.
+	hooked := false
+	for _, h := range w.order {
+		if h.back.wantsRelationHooks() {
+			hooked = true
+			break
+		}
+	}
+	if hooked {
+		w.runHookedStorePhase(survivors, perNS)
+	} else {
+		w.store.ApplyNetDelta(survivors, w.workers)
+		if w.idx != nil {
+			w.idx.ApplyDelta(survivors)
+		}
+	}
+
+	// Fan-out phase: every backend sees the full delta with the store
+	// current (core runs its per-atom procedures here, parallel when the
+	// workspace has workers; IVM closes its batch, rebuilding if the
+	// crossover chose to). Backends with private structures (core,
+	// recompute) are independent of each other, so their finishBatch
+	// calls fan out across a worker pool; IVM backends share the one
+	// index set and run sequentially after them. Each handle's work is
+	// self-contained, so the result is byte-identical at any worker
+	// count.
+	w.finishBatchFanOut(survivors, perNS)
+	for i, h := range w.order {
+		h.maintainNS += perNS[i]
+		h.batches++
+	}
+	w.version++
+	return len(survivors), nil
+}
+
+// runHookedStorePhase is the relation-phased store schedule: the delta
+// grouped per relation in first-appearance order, deletions before
+// insertions per relation, each mutation bracketed by the pre/post
+// hooks — the exact schedule of the single-query IVM batch pipeline.
+// Only IVM backends do work in the per-relation hooks, so only they pay
+// the per-hook clock reads; the other strategies' hooks are no-ops and
+// contribute zero to their timers by construction.
+func (w *Workspace) runHookedStorePhase(survivors []Update, perNS []int64) {
 	type relDelta struct {
 		dels, ins [][]Value
 	}
@@ -622,14 +735,6 @@ func (w *Workspace) applyBatchExclusive(updates []Update) (int, error) {
 			d.dels = append(d.dels, u.Tuple)
 		}
 	}
-
-	// Store phase: each relation's mutation bracketed by the pre/post
-	// delta hooks. The store (and the shared index) is written exactly
-	// once per net command, independent of the number of queries. Only
-	// IVM backends do work in the per-relation hooks, so only they pay
-	// the per-hook clock reads; the other strategies' hooks are no-ops
-	// and contribute zero to their timers by construction.
-	perNS := make([]int64, len(w.order))
 	for _, rel := range relOrder {
 		d := deltas[rel]
 		if len(d.dels) > 0 {
@@ -671,20 +776,93 @@ func (w *Workspace) applyBatchExclusive(updates []Update) (int, error) {
 			}
 		}
 	}
+}
 
-	// Fan-out phase: every backend sees the full delta with the store
-	// current (core runs its per-atom procedures here, parallel when the
-	// workspace has workers; IVM closes its batch, rebuilding if the
-	// crossover chose to).
+// privateHandles returns the indices of handles whose batch/rebuild
+// work touches only private structures (core, recompute) — safe to run
+// on concurrent goroutines. IVM handles are excluded: they evaluate
+// through the one shared index set, which is not goroutine-safe.
+func (w *Workspace) privateHandles() []int {
+	var private []int
 	for i, h := range w.order {
-		t0 := time.Now()
-		h.back.finishBatch(survivors, w.workers)
-		perNS[i] += time.Since(t0).Nanoseconds()
-		h.maintainNS += perNS[i]
-		h.batches++
+		if h.strategy != StrategyIVM {
+			private = append(private, i)
+		}
 	}
-	w.version++
-	return len(survivors), nil
+	return private
+}
+
+// runPool runs fn(i) for every i in items on up to workers goroutines
+// claimed off a shared counter (sequentially when workers <= 1 or there
+// is at most one item). A panic inside fn is re-raised on the caller's
+// stack after the pool drains, matching the sequential path's failure
+// semantics (if several workers panic, the lowest worker index wins).
+func runPool(items []int, workers int, fn func(i int)) {
+	if workers > len(items) {
+		workers = len(items)
+	}
+	if workers <= 1 {
+		for _, i := range items {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	panics := make([]any, workers)
+	wg.Add(workers)
+	for k := 0; k < workers; k++ {
+		go func(k int) {
+			defer wg.Done()
+			defer func() { panics[k] = recover() }()
+			for {
+				j := int(next.Add(1)) - 1
+				if j >= len(items) {
+					return
+				}
+				fn(items[j])
+			}
+		}(k)
+	}
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+}
+
+// finishBatchFanOut runs every backend's finishBatch, spreading the
+// private-structure backends over up to w.workers goroutines, then
+// closing the IVM backends sequentially. The worker budget is divided
+// across the concurrently running handles (each core backend's
+// ApplySharedDelta spawns its own shard workers), so a batch never
+// oversubscribes Workers² goroutines. Per-handle timings land in
+// perNS.
+func (w *Workspace) finishBatchFanOut(survivors []Update, perNS []int64) {
+	private := w.privateHandles()
+	concurrency := w.workers
+	if concurrency > len(private) {
+		concurrency = len(private)
+	}
+	inner := w.workers
+	if concurrency > 1 {
+		inner = w.workers / concurrency
+		if inner < 1 {
+			inner = 1
+		}
+	}
+	finish := func(i, workers int) {
+		t0 := time.Now()
+		w.order[i].back.finishBatch(survivors, workers)
+		perNS[i] += time.Since(t0).Nanoseconds()
+	}
+	runPool(private, w.workers, func(i int) { finish(i, inner) })
+	for i, h := range w.order {
+		if h.strategy == StrategyIVM {
+			finish(i, w.workers)
+		}
+	}
 }
 
 // Load performs the preprocessing phase for an initial database across
@@ -717,17 +895,107 @@ func (w *Workspace) loadExclusive(db *dyndb.Database) error {
 				rel, want, w.owner[rel], db.Relation(rel).Arity()))
 		}
 	}
+	// Incremental index preservation: when the shared index set has
+	// built indexes, compute the old→new net delta BEFORE the store is
+	// replaced and patch the indexes with it afterwards (eval.Reload) —
+	// a Load of an overlapping database then keeps its warm indexes
+	// instead of paying full relation-scan rebuilds on the next
+	// evaluation. When the diff is unusable (a foreign relation changed
+	// arity across Loads) or no index is built, fall back to a fresh
+	// set, which rebuilds lazily.
+	var diff []Update
+	warm := w.idx != nil && w.idx.Built() > 0
+	if warm {
+		// Only relations with built indexes matter to the reconciliation
+		// (Reload drops commands on any other relation), and the diff is
+		// capped at half the combined cardinality: beyond that the
+		// databases are mostly disjoint and patching indexes command by
+		// command costs more than dropping them and letting the next
+		// evaluation rebuild with one relation scan.
+		diff, warm = storeDiff(w.store, db, (w.store.Cardinality()+db.Cardinality())/2, w.idx.IndexedRelations())
+	}
 	w.store.Clear()
 	if err := w.store.CopyFrom(db); err != nil {
 		return fail(err) // unreachable: the store was just cleared
 	}
-	w.resetIdxLocked()
-	for _, h := range w.order {
-		if err := h.back.rebuild(w.idx); err != nil {
+	if warm {
+		w.idx.Reload(diff)
+	} else {
+		w.resetIdxLocked()
+	}
+	return w.rebuildFanOut(fail)
+}
+
+// rebuildFanOut brings every backend up to date with the store's
+// current contents: private-structure backends (core, recompute) run
+// their preprocessing concurrently on up to w.workers goroutines (they
+// only read the shared store, which is safe), IVM backends sequentially
+// afterwards (they evaluate through the one shared index set, which
+// builds lazily and is not goroutine-safe). The first error in handle
+// order wins and fails the whole load atomically.
+func (w *Workspace) rebuildFanOut(fail func(error) error) error {
+	errs := make([]error, len(w.order))
+	runPool(w.privateHandles(), w.workers, func(i int) {
+		errs[i] = w.order[i].back.rebuild(nil)
+	})
+	for i, h := range w.order {
+		if h.strategy == StrategyIVM {
+			errs[i] = h.back.rebuild(w.idx)
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
 			return fail(err)
 		}
 	}
 	return nil
+}
+
+// storeDiff returns the net delta transforming old's contents into
+// db's, restricted to the given relations (the ones with built indexes
+// — nothing else benefits from reconciliation): per-relation deletions
+// of tuples absent from db, then insertions of tuples absent from old.
+// The second return is false when the diff is unusable — a covered
+// relation exists in both databases with different arities (its tuples
+// cannot be expressed as one delta stream), or the diff exceeds maxDiff
+// commands (the databases barely overlap, so patching indexes per
+// command beats a rebuild by nothing).
+func storeDiff(old, db *dyndb.Database, maxDiff int, rels map[string]bool) ([]Update, bool) {
+	var diff []Update
+	for _, rel := range old.Relations() {
+		if !rels[rel] {
+			continue
+		}
+		ro, rn := old.Relation(rel), db.Relation(rel)
+		if rn != nil && rn.Arity() != ro.Arity() {
+			return nil, false
+		}
+		ro.Each(func(t []Value) bool {
+			if rn == nil || !rn.Has(t) {
+				diff = append(diff, dyndb.Delete(rel, t...))
+			}
+			return len(diff) <= maxDiff
+		})
+		if len(diff) > maxDiff {
+			return nil, false
+		}
+	}
+	for _, rel := range db.Relations() {
+		if !rels[rel] {
+			continue
+		}
+		ro, rn := old.Relation(rel), db.Relation(rel)
+		rn.Each(func(t []Value) bool {
+			if ro == nil || !ro.Has(t) {
+				diff = append(diff, dyndb.Insert(rel, t...))
+			}
+			return len(diff) <= maxDiff
+		})
+		if len(diff) > maxDiff {
+			return nil, false
+		}
+	}
+	return diff, true
 }
 
 // resetIdxLocked replaces the shared index set with a fresh one over
@@ -806,6 +1074,7 @@ func (b *coreBackend) Enumerate(yield func([]Value) bool) { b.e.Enumerate(yield)
 func (b *coreBackend) preDeleteOne(string, []Value)       {}
 func (b *coreBackend) postApplyOne(u Update)              { b.e.ApplySharedUpdate(u) }
 func (b *coreBackend) beginBatch(int)                     {}
+func (b *coreBackend) wantsRelationHooks() bool           { return false }
 func (b *coreBackend) preDelete(string, [][]Value)        {}
 func (b *coreBackend) postInsert(string, [][]Value)       {}
 func (b *coreBackend) finishBatch(survivors []Update, workers int) {
@@ -838,6 +1107,7 @@ func (b *ivmBackend) postApplyOne(u Update) {
 	}
 }
 func (b *ivmBackend) beginBatch(survivors int)                { b.m.BeginSharedBatch(survivors) }
+func (b *ivmBackend) wantsRelationHooks() bool                { return !b.m.SharedBatchRebuilds() }
 func (b *ivmBackend) preDelete(rel string, tuples [][]Value)  { b.m.PreDeleteShared(rel, tuples) }
 func (b *ivmBackend) postInsert(rel string, tuples [][]Value) { b.m.PostInsertShared(rel, tuples) }
 func (b *ivmBackend) finishBatch([]Update, int)               { b.m.FinishSharedBatch() }
@@ -857,6 +1127,7 @@ func (b *recomputeBackend) Enumerate(yield func([]Value) bool) { b.r.Enumerate(y
 func (b *recomputeBackend) preDeleteOne(string, []Value)       {}
 func (b *recomputeBackend) postApplyOne(Update)                {}
 func (b *recomputeBackend) beginBatch(int)                     {}
+func (b *recomputeBackend) wantsRelationHooks() bool           { return false }
 func (b *recomputeBackend) preDelete(string, [][]Value)        {}
 func (b *recomputeBackend) postInsert(string, [][]Value)       {}
 func (b *recomputeBackend) finishBatch([]Update, int)          {}
