@@ -129,6 +129,7 @@ func cmdRun(args []string) error {
 	doAnswer := fs.Bool("answer", false, "print whether Q(D) is nonempty, per query")
 	doEnum := fs.Bool("enumerate", false, "print the result tuples, per query")
 	limit := fs.Int("limit", 0, "cap on enumerated tuples per query (0 = all)")
+	doStats := fs.Bool("stats", false, "print dictionary statistics (symbol count, encode hit rate) after the stream; most useful with -strings")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -229,6 +230,11 @@ func cmdRun(args []string) error {
 	}
 	fmt.Printf("database: %d tuples, active domain %d, %d store mutations\n",
 		ws.Cardinality(), ws.ActiveDomainSize(), ws.StoreMutations())
+	if *doStats {
+		st := ws.Dict().Stats()
+		fmt.Printf("dict:     %d symbols, %d encode hits / %d misses (hit rate %.1f%%)\n",
+			st.Size, st.Hits, st.Misses, 100*st.HitRate())
+	}
 	for _, h := range ws.Handles() {
 		if *doAnswer {
 			fmt.Printf("answer %-8s %v\n", h.Name()+":", h.Answer())
@@ -356,20 +362,28 @@ func applyStreamFile(ws *dyncq.Workspace, schema map[string]int, path string, ba
 	return nil
 }
 
-// formatTuple renders one result tuple, decoding through the dictionary
-// in string mode.
+// formatTuple renders one result tuple. This is the decode boundary of
+// the interning pipeline: enumeration streams raw interned codes
+// ([]dyncq.Value) all the way here, and only at this point — in string
+// mode — are codes turned back into symbols, via the read-only
+// TryDecode. One builder per tuple, no intermediate string slices.
 func formatTuple(t []dyncq.Value, d *dict.Dict) string {
-	parts := make([]string, len(t))
+	var b strings.Builder
+	b.WriteByte('(')
 	for i, v := range t {
+		if i > 0 {
+			b.WriteByte(',')
+		}
 		if d != nil {
 			if name, ok := d.TryDecode(v); ok {
-				parts[i] = name
+				b.WriteString(name)
 				continue
 			}
 		}
-		parts[i] = fmt.Sprint(v)
+		b.WriteString(strconv.FormatInt(int64(v), 10))
 	}
-	return "(" + strings.Join(parts, ",") + ")"
+	b.WriteByte(')')
+	return b.String()
 }
 
 func cmdClassify(args []string) error {
@@ -401,7 +415,7 @@ func cmdBench(args []string) error {
 		return cmdBenchSpeedup(args[1:])
 	}
 	fs := flag.NewFlagSet("dyncq bench", flag.ExitOnError)
-	out := fs.String("out", "BENCH_PR5.json", "output JSON path")
+	out := fs.String("out", "BENCH_PR6.json", "output JSON path")
 	seed := fs.Int64("seed", 1, "workload RNG seed")
 	n := fs.Int("n", 300, "star and hard-sqet case size (node count / domain); random-qh uses a fixed small domain")
 	streamLen := fs.Int("updates", 2000, "measured update-stream length per case")
@@ -513,6 +527,7 @@ func cmdBench(args []string) error {
 			fmt.Printf("  %-10s preprocess %8.2fms (bulk %8.2fms)  updates %8.0f/s (p99 %6dns)  count %d in %6dns  delay p99 %6dns over %d tuples\n",
 				s.Strategy, float64(s.PreprocessNS)/1e6, float64(s.BulkLoadNS)/1e6, s.UpdatesPerSec, s.UpdateNS.P99,
 				s.Count, s.CountNS, s.DelayNS.P99, s.EnumeratedTuples)
+			fmt.Printf("             update %s  enumerate %s\n", s.UpdateAlloc, s.EnumerateAlloc)
 			for _, b := range s.Batches {
 				fmt.Printf("             batch %5d: %8.0f updates/s over %d batches (%d net)\n",
 					b.BatchSize, b.UpdatesPerSec, b.Batches, b.NetApplied)
@@ -543,8 +558,8 @@ func cmdBench(args []string) error {
 		fmt.Printf("  store mutations: shared %d vs %d across %d solo sessions (%.1fx saved)\n",
 			m.SharedStoreMutations, m.SoloStoreMutations, m.NumQueries,
 			float64(m.SoloStoreMutations)/float64(max(m.SharedStoreMutations, 1)))
-		fmt.Printf("  shared pipeline: %8.0f updates/s  batch p50 %8dns p99 %8dns  (solo total %.2fms, shared %.2fms)\n",
-			m.UpdatesPerSec, m.BatchNS.P50, m.BatchNS.P99,
+		fmt.Printf("  shared pipeline: %8.0f updates/s  batch p50 %8dns p99 %8dns  %s  (solo total %.2fms, shared %.2fms)\n",
+			m.UpdatesPerSec, m.BatchNS.P50, m.BatchNS.P99, m.Alloc,
 			float64(m.SoloTotalNS)/1e6, float64(m.SharedTotalNS)/1e6)
 		for _, q := range m.Queries {
 			ok := "identical to solo"

@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// This file adds allocator-traffic measurement to the harness. The
+// paper's O(1) update bound counts RAM operations, but at real scale the
+// constant is dominated by allocator and GC work — which is exactly what
+// the slab allocator (internal/core), the interned index pool
+// (internal/eval) and the end-to-end interning (internal/dict,
+// internal/tuplekey) attack. Every measured phase of the report records
+// allocs/op and bytes/op from runtime.MemStats deltas taken outside the
+// timed regions, so those refactors are visible in the JSON artifact and
+// `bench -compare` can call out allocation regressions as notices.
+
+// AllocStats records the allocator traffic of one measured phase:
+// heap allocations and allocated bytes per operation, from
+// runtime.MemStats deltas (Mallocs / TotalAlloc) around the phase. The
+// numbers include the harness's own bookkeeping (latency-sample appends),
+// which is amortised to well under one allocation per op, and — like any
+// MemStats delta — allocations of concurrent goroutines; the harness runs
+// phases one at a time, so in practice the delta is the phase's own.
+type AllocStats struct {
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// String renders the stats the way the CLI prints them.
+func (a AllocStats) String() string {
+	return fmt.Sprintf("%.1f allocs/op, %.0f B/op", a.AllocsPerOp, a.BytesPerOp)
+}
+
+func (a AllocStats) zero() bool { return a.AllocsPerOp == 0 && a.BytesPerOp == 0 }
+
+// allocMeter snapshots the process-wide allocation counters; perOp
+// returns the traffic since the snapshot divided by the op count. Both
+// ReadMemStats calls sit outside the timed spans of the phases that use
+// the meter, so latency percentiles are unaffected.
+type allocMeter struct {
+	mallocs uint64
+	bytes   uint64
+}
+
+func startAllocMeter() allocMeter {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return allocMeter{mallocs: m.Mallocs, bytes: m.TotalAlloc}
+}
+
+func (a allocMeter) perOp(ops int) AllocStats {
+	if ops <= 0 {
+		return AllocStats{}
+	}
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return AllocStats{
+		AllocsPerOp: float64(m.Mallocs-a.mallocs) / float64(ops),
+		BytesPerOp:  float64(m.TotalAlloc-a.bytes) / float64(ops),
+	}
+}
+
+// minAlloc folds one repetition into the best-of accumulator, same
+// estimator as the latencies: allocation noise (GC-assist bookkeeping,
+// map growth landing in one rep but not another) is one-sided, so the
+// minimum is the stable per-op cost.
+func minAlloc(a, b AllocStats) AllocStats {
+	if b.AllocsPerOp < a.AllocsPerOp {
+		a.AllocsPerOp = b.AllocsPerOp
+	}
+	if b.BytesPerOp < a.BytesPerOp {
+		a.BytesPerOp = b.BytesPerOp
+	}
+	return a
+}

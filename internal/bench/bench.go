@@ -97,6 +97,10 @@ type BatchResult struct {
 	TotalNS       int64       `json:"total_ns"`
 	UpdatesPerSec float64     `json:"updates_per_sec"`
 	BatchNS       Percentiles `json:"batch_ns"`
+	// Alloc is the allocator traffic of the batched stream, per stream
+	// update (same denominator as the per-update loop, so the two phases
+	// are directly comparable).
+	Alloc AllocStats `json:"alloc"`
 }
 
 // ParallelResult measures one worker count of the parallel phase: the
@@ -116,6 +120,9 @@ type ParallelResult struct {
 	// no workers=1 entry was measured).
 	UpdatesPerSec float64 `json:"updates_per_sec"`
 	SpeedupVs1    float64 `json:"speedup_vs_1,omitempty"`
+	// Alloc is the allocator traffic per stream update, summed over all
+	// worker goroutines (MemStats deltas are process-wide).
+	Alloc AllocStats `json:"alloc"`
 }
 
 // StrategyResult is the measurement of one strategy on one case.
@@ -126,12 +133,19 @@ type StrategyResult struct {
 	// initial database on a fresh session (0 if Initial is empty).
 	PreprocessNS int64 `json:"preprocess_ns"`
 	BulkLoadNS   int64 `json:"bulk_load_ns,omitempty"`
+	// PreprocessAlloc is the allocator traffic of the preprocessing
+	// replay, per initial update.
+	PreprocessAlloc AllocStats `json:"preprocess_alloc"`
 	// Updates is len(Stream); UpdateNS summarises per-update latencies
 	// and UpdatesPerSec the resulting throughput.
 	Updates       int         `json:"updates"`
 	UpdateTotalNS int64       `json:"update_total_ns"`
 	UpdatesPerSec float64     `json:"updates_per_sec"`
 	UpdateNS      Percentiles `json:"update_ns"`
+	// UpdateAlloc is the allocator traffic of the measured per-update
+	// loop, per update — the headline number for the slab and interning
+	// work (see internal/bench/alloc.go).
+	UpdateAlloc AllocStats `json:"update_alloc"`
 	// CountNS is the time of one Count() call after the stream; Count is
 	// its result.
 	CountNS int64  `json:"count_ns"`
@@ -140,6 +154,9 @@ type StrategyResult struct {
 	// DelayNS summarises the per-tuple delays (first tuple included).
 	EnumeratedTuples int         `json:"enumerated_tuples"`
 	DelayNS          Percentiles `json:"delay_ns"`
+	// EnumerateAlloc is the allocator traffic of the delay measurement,
+	// per enumerated tuple — the decode-boundary cost of interning.
+	EnumerateAlloc AllocStats `json:"enumerate_alloc"`
 	// Batches holds the batch phase, one entry per Config.BatchSizes.
 	Batches []BatchResult `json:"batches,omitempty"`
 	// Parallel holds the parallel phase, one entry per Config.Workers.
@@ -171,6 +188,11 @@ type Report struct {
 	// Multi holds the multi-query workspace phase (see RunMulti);
 	// reports from before the workspace front door simply lack it.
 	Multi []MultiResult `json:"multi,omitempty"`
+	// Notes carries free-form context an operator attached to the
+	// artifact — e.g. the before/after allocation reductions recorded
+	// when a memory refactor lands. Purely informational: the compare
+	// gate never reads them.
+	Notes []string `json:"notes,omitempty"`
 }
 
 // RunCase measures every given strategy on the case. Strategies that
@@ -237,13 +259,16 @@ func mergeBest(a, b StrategyResult) StrategyResult {
 	}
 	a.PreprocessNS = minI(a.PreprocessNS, b.PreprocessNS)
 	a.BulkLoadNS = minI(a.BulkLoadNS, b.BulkLoadNS)
+	a.PreprocessAlloc = minAlloc(a.PreprocessAlloc, b.PreprocessAlloc)
 	a.UpdateTotalNS = minI(a.UpdateTotalNS, b.UpdateTotalNS)
 	if b.UpdatesPerSec > a.UpdatesPerSec {
 		a.UpdatesPerSec = b.UpdatesPerSec
 	}
 	a.UpdateNS = minP(a.UpdateNS, b.UpdateNS)
+	a.UpdateAlloc = minAlloc(a.UpdateAlloc, b.UpdateAlloc)
 	a.CountNS = minI(a.CountNS, b.CountNS)
 	a.DelayNS = minP(a.DelayNS, b.DelayNS)
+	a.EnumerateAlloc = minAlloc(a.EnumerateAlloc, b.EnumerateAlloc)
 	for i := range a.Batches {
 		if i >= len(b.Batches) {
 			break
@@ -254,6 +279,7 @@ func mergeBest(a, b StrategyResult) StrategyResult {
 			ab.UpdatesPerSec = bb.UpdatesPerSec
 		}
 		ab.BatchNS = minP(ab.BatchNS, bb.BatchNS)
+		ab.Alloc = minAlloc(ab.Alloc, bb.Alloc)
 	}
 	for i := range a.Parallel {
 		if i >= len(b.Parallel) {
@@ -264,6 +290,7 @@ func mergeBest(a, b StrategyResult) StrategyResult {
 		if bp.UpdatesPerSec > ap.UpdatesPerSec {
 			ap.UpdatesPerSec = bp.UpdatesPerSec
 		}
+		ap.Alloc = minAlloc(ap.Alloc, bp.Alloc)
 	}
 	fillSpeedups(a.Parallel)
 	return a
@@ -278,11 +305,13 @@ func runStrategy(cfg Config, st dyncq.Strategy, initDB *dyndb.Database) (Strateg
 	// report which engine actually ran.
 	sr := StrategyResult{Strategy: sess.Strategy().String(), Updates: len(cfg.Stream)}
 
+	am := startAllocMeter()
 	start := time.Now()
 	if err := sess.ApplyAll(cfg.Initial); err != nil {
 		return sr, fmt.Errorf("preprocessing: %w", err)
 	}
 	sr.PreprocessNS = time.Since(start).Nanoseconds()
+	sr.PreprocessAlloc = am.perOp(len(cfg.Initial))
 
 	// Bulk-load comparison: the same initial database through the batch
 	// pipeline on a fresh session.
@@ -299,6 +328,7 @@ func runStrategy(cfg Config, st dyncq.Strategy, initDB *dyndb.Database) (Strateg
 	}
 
 	lat := make([]int64, 0, len(cfg.Stream))
+	am = startAllocMeter()
 	for _, u := range cfg.Stream {
 		t0 := time.Now()
 		if _, err := sess.Apply(u); err != nil {
@@ -306,6 +336,7 @@ func runStrategy(cfg Config, st dyncq.Strategy, initDB *dyndb.Database) (Strateg
 		}
 		lat = append(lat, time.Since(t0).Nanoseconds())
 	}
+	sr.UpdateAlloc = am.perOp(len(lat))
 	for _, ns := range lat {
 		sr.UpdateTotalNS += ns
 	}
@@ -319,6 +350,7 @@ func runStrategy(cfg Config, st dyncq.Strategy, initDB *dyndb.Database) (Strateg
 	sr.CountNS = time.Since(t0).Nanoseconds()
 
 	delays := make([]int64, 0, 1024)
+	am = startAllocMeter()
 	last := time.Now()
 	sess.Enumerate(func(_ []dyncq.Value) bool {
 		now := time.Now()
@@ -326,6 +358,7 @@ func runStrategy(cfg Config, st dyncq.Strategy, initDB *dyndb.Database) (Strateg
 		last = now
 		return cfg.MaxEnumerate == 0 || len(delays) < cfg.MaxEnumerate
 	})
+	sr.EnumerateAlloc = am.perOp(len(delays))
 	sr.EnumeratedTuples = len(delays)
 	sr.DelayNS = percentiles(delays)
 
@@ -373,9 +406,11 @@ func runParallel(cfg Config, st dyncq.Strategy, initDB *dyndb.Database, workers 
 		size = 512
 	}
 	pr := ParallelResult{Workers: workers, BatchSize: size, Sharded: sess.Parallel()}
+	am := startAllocMeter()
 	t0 := time.Now()
 	n, err := sess.ApplyBatched(cfg.Stream, size)
 	pr.TotalNS = time.Since(t0).Nanoseconds()
+	pr.Alloc = am.perOp(len(cfg.Stream))
 	pr.NetApplied = n
 	if err != nil {
 		return pr, err
@@ -414,6 +449,7 @@ func runBatched(cfg Config, st dyncq.Strategy, initDB *dyndb.Database, size int)
 	}
 	br := BatchResult{BatchSize: size}
 	lat := make([]int64, 0, len(cfg.Stream)/size+1)
+	am := startAllocMeter()
 	for from := 0; from < len(cfg.Stream); from += size {
 		to := from + size
 		if to > len(cfg.Stream) {
@@ -427,6 +463,7 @@ func runBatched(cfg Config, st dyncq.Strategy, initDB *dyndb.Database, size int)
 			return br, err
 		}
 	}
+	br.Alloc = am.perOp(len(cfg.Stream))
 	br.Batches = len(lat)
 	for _, ns := range lat {
 		br.TotalNS += ns

@@ -40,6 +40,58 @@ func DefaultCompareOptions() CompareOptions {
 	return CompareOptions{Tolerance: 0.30, FloorNS: 5000}
 }
 
+// Allocation metrics are advisory, never gating: a grown allocs/op is a
+// cost worth an operator's eyes (it is why the slab and interning layers
+// exist), but it is not a latency regression by itself — the latency
+// gates already catch it when it matters. Regressed allocation metrics
+// therefore surface as notices. The floors play the FloorNS role:
+// phases allocating almost nothing jitter relatively without meaning
+// anything absolutely.
+const (
+	allocFloorPerOp = 4.0   // allocs/op below this are noise
+	bytesFloorPerOp = 512.0 // bytes/op below this are noise
+)
+
+// allocNotices compares one phase's allocation stats against the
+// baseline and describes any growth beyond the tolerance. A zero
+// baseline (report from before allocation metrics existed) yields
+// nothing — the report-level notice in CompareWithNotices covers that.
+func allocNotices(who, metric string, oldA, newA AllocStats, opt CompareOptions) []string {
+	if oldA.zero() {
+		return nil
+	}
+	var out []string
+	if newA.AllocsPerOp >= allocFloorPerOp && oldA.AllocsPerOp > 0 &&
+		newA.AllocsPerOp > oldA.AllocsPerOp*(1+opt.Tolerance) {
+		out = append(out, fmt.Sprintf("%s %s.allocs_per_op: %.1f -> %.1f (%.2fx) — allocation regression (not gated)",
+			who, metric, oldA.AllocsPerOp, newA.AllocsPerOp, newA.AllocsPerOp/oldA.AllocsPerOp))
+	}
+	if newA.BytesPerOp >= bytesFloorPerOp && oldA.BytesPerOp > 0 &&
+		newA.BytesPerOp > oldA.BytesPerOp*(1+opt.Tolerance) {
+		out = append(out, fmt.Sprintf("%s %s.bytes_per_op: %.0f -> %.0f (%.2fx) — allocation regression (not gated)",
+			who, metric, oldA.BytesPerOp, newA.BytesPerOp, newA.BytesPerOp/oldA.BytesPerOp))
+	}
+	return out
+}
+
+// hasAllocStats reports whether any phase of the report carries
+// allocation metrics (reports from before PR 6 have none).
+func hasAllocStats(r Report) bool {
+	for _, c := range r.Cases {
+		for _, s := range c.Strategies {
+			if !s.UpdateAlloc.zero() || !s.PreprocessAlloc.zero() || !s.EnumerateAlloc.zero() {
+				return true
+			}
+		}
+	}
+	for _, m := range r.Multi {
+		if !m.Alloc.zero() {
+			return true
+		}
+	}
+	return false
+}
+
 func (o CompareOptions) p99Tolerance() float64 {
 	if o.P99Tolerance > 0 {
 		return o.P99Tolerance
@@ -96,6 +148,9 @@ func Compare(oldRep, newRep Report, opt CompareOptions) []Regression {
 func CompareWithNotices(oldRep, newRep Report, opt CompareOptions) ([]Regression, []string) {
 	var regs []Regression
 	var notices []string
+	if hasAllocStats(newRep) && !hasAllocStats(oldRep) {
+		notices = append(notices, "baseline has no allocation metrics: allocation changes not compared")
+	}
 	oldCases := make(map[string]CaseResult, len(oldRep.Cases))
 	for _, c := range oldRep.Cases {
 		oldCases[c.Name] = c
@@ -108,7 +163,9 @@ func CompareWithNotices(oldRep, newRep Report, opt CompareOptions) ([]Regression
 			notices = append(notices, fmt.Sprintf("case %q absent from baseline: not gated", nc.Name))
 			continue
 		}
-		regs = append(regs, compareStrategies(nc.Name, oc.Strategies, nc.Strategies, opt)...)
+		r, n := compareStrategies(nc.Name, oc.Strategies, nc.Strategies, opt)
+		regs = append(regs, r...)
+		notices = append(notices, n...)
 	}
 	// The reverse gap matters just as much: a baseline case the new
 	// report no longer measures silently escapes the gate otherwise.
@@ -141,6 +198,7 @@ func CompareWithNotices(oldRep, newRep Report, opt CompareOptions) ([]Regression
 			who := "multi/" + nm.Name
 			regs = append(regs, compareMetric(who, "batch_ns.p50", om.BatchNS.P50, nm.BatchNS.P50, opt.Tolerance, opt)...)
 			regs = append(regs, compareMetric(who, "batch_ns.p99", om.BatchNS.P99, nm.BatchNS.P99, opt.p99Tolerance(), opt)...)
+			notices = append(notices, allocNotices(who, "alloc", om.Alloc, nm.Alloc, opt)...)
 			oldQ := make(map[string]MultiQueryResult, len(om.Queries))
 			for _, q := range om.Queries {
 				oldQ[q.Name] = q
@@ -194,18 +252,21 @@ func CompareWithNotices(oldRep, newRep Report, opt CompareOptions) ([]Regression
 				continue
 			}
 			label := fmt.Sprintf("%s/n=%d", ns.Name, np.N)
-			regs = append(regs, compareStrategies(label, op.Strategies, np.Strategies, opt)...)
+			r, n := compareStrategies(label, op.Strategies, np.Strategies, opt)
+			regs = append(regs, r...)
+			notices = append(notices, n...)
 		}
 	}
 	return regs, notices
 }
 
-func compareStrategies(label string, oldStrats, newStrats []StrategyResult, opt CompareOptions) []Regression {
+func compareStrategies(label string, oldStrats, newStrats []StrategyResult, opt CompareOptions) ([]Regression, []string) {
 	old := make(map[string]StrategyResult, len(oldStrats))
 	for _, s := range oldStrats {
 		old[s.Strategy] = s
 	}
 	var regs []Regression
+	var notices []string
 	for _, ns := range newStrats {
 		oldStrat, ok := old[ns.Strategy]
 		if !ok {
@@ -216,8 +277,29 @@ func compareStrategies(label string, oldStrats, newStrats []StrategyResult, opt 
 		regs = append(regs, compareMetric(who, "update_ns.p99", oldStrat.UpdateNS.P99, ns.UpdateNS.P99, opt.p99Tolerance(), opt)...)
 		regs = append(regs, compareMetric(who, "delay_ns.p50", oldStrat.DelayNS.P50, ns.DelayNS.P50, opt.Tolerance, opt)...)
 		regs = append(regs, compareMetric(who, "delay_ns.p99", oldStrat.DelayNS.P99, ns.DelayNS.P99, opt.p99Tolerance(), opt)...)
+		notices = append(notices, allocNotices(who, "preprocess_alloc", oldStrat.PreprocessAlloc, ns.PreprocessAlloc, opt)...)
+		notices = append(notices, allocNotices(who, "update_alloc", oldStrat.UpdateAlloc, ns.UpdateAlloc, opt)...)
+		notices = append(notices, allocNotices(who, "enumerate_alloc", oldStrat.EnumerateAlloc, ns.EnumerateAlloc, opt)...)
+		oldBatches := make(map[int]BatchResult, len(oldStrat.Batches))
+		for _, b := range oldStrat.Batches {
+			oldBatches[b.BatchSize] = b
+		}
+		for _, nb := range ns.Batches {
+			if ob, ok := oldBatches[nb.BatchSize]; ok {
+				notices = append(notices, allocNotices(fmt.Sprintf("%s/batch=%d", who, nb.BatchSize), "alloc", ob.Alloc, nb.Alloc, opt)...)
+			}
+		}
+		oldParallel := make(map[int]ParallelResult, len(oldStrat.Parallel))
+		for _, p := range oldStrat.Parallel {
+			oldParallel[p.Workers] = p
+		}
+		for _, np := range ns.Parallel {
+			if op, ok := oldParallel[np.Workers]; ok {
+				notices = append(notices, allocNotices(fmt.Sprintf("%s/workers=%d", who, np.Workers), "alloc", op.Alloc, np.Alloc, opt)...)
+			}
+		}
 	}
-	return regs
+	return regs, notices
 }
 
 func compareMetric(who, metric string, oldV, newV int64, tol float64, opt CompareOptions) []Regression {

@@ -211,3 +211,47 @@ func TestCompareGatesMultiPhase(t *testing.T) {
 		t.Fatalf("tripled maintain p50 not flagged exactly once: %v", regs)
 	}
 }
+
+func TestCompareAllocationNotices(t *testing.T) {
+	mk := func(allocs, bytes float64) Report {
+		return Report{Cases: []CaseResult{{
+			Name: "star",
+			Strategies: []StrategyResult{{
+				Strategy:    "core",
+				UpdateAlloc: AllocStats{AllocsPerOp: allocs, BytesPerOp: bytes},
+			}},
+		}}}
+	}
+	opt := DefaultCompareOptions()
+
+	// Allocation growth beyond tolerance is a notice, never a regression.
+	regs, notices := CompareWithNotices(mk(10, 1024), mk(20, 1024), opt)
+	if len(regs) != 0 {
+		t.Fatalf("allocation growth gated as a regression: %v", regs)
+	}
+	if len(notices) != 1 {
+		t.Fatalf("doubled allocs/op: got %d notices, want 1: %v", len(notices), notices)
+	}
+
+	// Growth within tolerance stays quiet.
+	if _, n := CompareWithNotices(mk(10, 1024), mk(12, 1100), opt); len(n) != 0 {
+		t.Errorf("allocation growth within tolerance noticed: %v", n)
+	}
+
+	// Sub-floor values are noise regardless of relative growth.
+	if _, n := CompareWithNotices(mk(1, 100), mk(3, 300), opt); len(n) != 0 {
+		t.Errorf("sub-floor allocation jitter noticed: %v", n)
+	}
+
+	// A baseline without allocation metrics yields the one report-level
+	// notice instead of per-metric ones.
+	_, n := CompareWithNotices(mk(0, 0), mk(20, 4096), opt)
+	if len(n) != 1 {
+		t.Fatalf("alloc-less baseline: got %d notices, want 1: %v", len(n), n)
+	}
+
+	// Improvements stay quiet.
+	if _, n := CompareWithNotices(mk(20, 4096), mk(10, 1024), opt); len(n) != 0 {
+		t.Errorf("allocation improvement noticed: %v", n)
+	}
+}

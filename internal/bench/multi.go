@@ -76,6 +76,9 @@ type MultiScalingResult struct {
 	// including the enumeration order of core backends — is
 	// byte-identical to the workers=1 run of the same layout.
 	MatchesWorkers1 bool `json:"matches_workers_1"`
+	// Alloc is the allocator traffic of the shared batched stream at this
+	// worker count, per stream update (process-wide, all workers summed).
+	Alloc AllocStats `json:"alloc"`
 }
 
 // MultiQueryResult is the per-query slice of a multi-query case.
@@ -124,7 +127,11 @@ type MultiResult struct {
 	UpdatesPerSec float64 `json:"updates_per_sec"`
 	// BatchNS summarises the shared pipeline's whole-batch latencies
 	// (all K queries maintained per batch).
-	BatchNS Percentiles        `json:"batch_ns"`
+	BatchNS Percentiles `json:"batch_ns"`
+	// Alloc is the allocator traffic of the shared batched stream, per
+	// stream update — all K queries' maintenance included, so it compares
+	// against the sum of the solo sessions' traffic.
+	Alloc   AllocStats         `json:"alloc"`
 	Queries []MultiQueryResult `json:"queries"`
 	// Scaling holds the worker-scaling phase, one entry per
 	// MultiConfig.Workers (pinned shard layout, see scalingShards).
@@ -168,6 +175,7 @@ func RunMulti(cfg MultiConfig) (MultiResult, error) {
 			res.SharedStoreMutations = one.SharedStoreMutations
 			res.SharedTotalNS = one.SharedTotalNS
 			res.BatchNS = one.BatchNS
+			res.Alloc = one.Alloc
 			res.Queries = one.Queries
 			sharedTuples = tuples
 			continue
@@ -176,6 +184,7 @@ func RunMulti(cfg MultiConfig) (MultiResult, error) {
 			res.SharedTotalNS = one.SharedTotalNS
 		}
 		res.BatchNS = minPercentiles(res.BatchNS, one.BatchNS)
+		res.Alloc = minAlloc(res.Alloc, one.Alloc)
 		for i := range res.Queries {
 			res.Queries[i].MaintainNS = minPercentiles(res.Queries[i].MaintainNS, one.Queries[i].MaintainNS)
 			if one.Queries[i].MaintainTotalNS < res.Queries[i].MaintainTotalNS {
@@ -237,6 +246,11 @@ func RunMulti(cfg MultiConfig) (MultiResult, error) {
 			}
 			if rep == 0 || one.SharedTotalNS < sr.TotalNS {
 				sr.TotalNS = one.SharedTotalNS
+			}
+			if rep == 0 {
+				sr.Alloc = one.Alloc
+			} else {
+				sr.Alloc = minAlloc(sr.Alloc, one.Alloc)
 			}
 			tuples = tu
 		}
@@ -321,6 +335,7 @@ func runMultiShared(cfg MultiConfig, initDB *dyndb.Database, size, workers, shar
 	batchLat := make([]int64, 0, len(cfg.Stream)/size+1)
 	perQueryLat := make([][]int64, len(handles))
 	lastNS := make([]int64, len(handles))
+	am := startAllocMeter()
 	for from := 0; from < len(cfg.Stream); from += size {
 		to := from + size
 		if to > len(cfg.Stream) {
@@ -339,6 +354,7 @@ func runMultiShared(cfg MultiConfig, initDB *dyndb.Database, size, workers, shar
 			lastNS[i] = ns
 		}
 	}
+	res.Alloc = am.perOp(len(cfg.Stream))
 	res.Batches = len(batchLat)
 	res.SharedStoreMutations = ws.StoreMutations() - mutBase
 	for _, ns := range batchLat {

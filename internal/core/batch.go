@@ -143,7 +143,7 @@ func (e *Engine) countAtom(ref atomRef, tuple []Value) {
 		m := sh.index[nodeIdx]
 		it, ok := m.Get(vals[: j+1 : j+1])
 		if !ok {
-			it = newItem(&c.nodes[nodeIdx], vals[:j+1], parent)
+			it = sh.slab.alloc(&c.nodes[nodeIdx], nodeIdx, vals[:j+1], parent)
 			m.Put(it.key, it)
 		}
 		parent = it

@@ -131,14 +131,16 @@ type comp struct {
 
 // compShard is one shard of a component's dynamic state: the per-node
 // item indexes (the "arrays A_v", restricted to root values hashing
-// here), this shard's slice of the start list, and its contribution to
-// C_start/C̃_start (summed across shards by Count/Answer).
+// here), this shard's slice of the start list, its contribution to
+// C_start/C̃_start (summed across shards by Count/Answer), and the slab
+// its items are allocated from (see slab.go).
 type compShard struct {
 	index     []*tuplekey.Map[*item] // per node: the "array A_v"
 	startHead *item
 	startTail *item
 	cStart    uint64 // Σ C^i over fit root items of this shard
 	cfStart   uint64 // Σ C̃^i over fit root items (root free only)
+	slab      itemSlab
 }
 
 // totals sums C_start and C̃_start across the component's shards.
@@ -330,6 +332,7 @@ func compileComp(sub *cq.Query, tree *qtree.Tree, shards int) (*comp, error) {
 		for i := 0; i < n; i++ {
 			c.shards[si].index[i] = tuplekey.NewMap[*item](0)
 		}
+		c.shards[si].slab.initFree(n)
 	}
 	for i := range c.nodes {
 		for sl, ch := range c.nodes[i].children {
@@ -496,7 +499,9 @@ func (e *Engine) reset() {
 
 // clearStructure discards the view structure (items, lists, counters)
 // without touching the database — the shared-store half of reset, where
-// the store's lifecycle belongs to the workspace that owns it.
+// the store's lifecycle belongs to the workspace that owns it. Item
+// slabs are freed wholesale: the GC retires a shard's items as whole
+// chunks instead of tracing them individually.
 func (e *Engine) clearStructure() {
 	for _, c := range e.comps {
 		for si := range c.shards {
@@ -506,6 +511,7 @@ func (e *Engine) clearStructure() {
 			}
 			sh.startHead, sh.startTail = nil, nil
 			sh.cStart, sh.cfStart = 0, 0
+			sh.slab.reset(len(c.nodes))
 		}
 	}
 }
@@ -554,7 +560,7 @@ func (e *Engine) updateAtomScratch(c *comp, a *catom, tuple []Value, insert bool
 			if j > 0 {
 				parent = items[j-1]
 			}
-			it = newItem(&c.nodes[nodeIdx], vals[:j+1], parent)
+			it = sh.slab.alloc(&c.nodes[nodeIdx], nodeIdx, vals[:j+1], parent)
 			m.Put(it.key, it)
 		}
 		items[j] = it
@@ -633,26 +639,10 @@ func (e *Engine) updateAtomScratch(c *comp, a *catom, tuple []Value, insert bool
 			}
 			if all0 {
 				sh.index[nodeIdx].Delete(it.key)
+				sh.slab.recycle(nodeIdx, it)
 			}
 		}
 	}
-}
-
-// newItem allocates a fresh zero-count item for node nd with the given
-// path values (copied) and parent.
-func newItem(nd *cnode, vals []Value, parent *item) *item {
-	it := &item{
-		key:       append([]Value(nil), vals...),
-		parent:    parent,
-		counts:    make([]uint64, nd.numTracked),
-		childSum:  make([]uint64, len(nd.children)),
-		childHead: make([]*item, len(nd.children)),
-		childTail: make([]*item, len(nd.children)),
-	}
-	if nd.free && nd.freeChildCount > 0 {
-		it.fchildSum = make([]uint64, nd.freeChildCount)
-	}
-	return it
 }
 
 // listOf returns the head and tail pointers of the list it belongs to:

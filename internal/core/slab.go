@@ -1,0 +1,181 @@
+package core
+
+// This file implements slab/arena allocation for the engine's dynamic
+// state. The paper's O(1) update bound counts RAM operations; at tens of
+// millions of tuples the real-world constant is dominated by allocator
+// and GC work — the baseline newItem performed up to six heap
+// allocations per item (struct, key, counts, childSum, childHead,
+// childTail), each an independently traced GC object. The slab packs
+// them into three kinds of chunked arenas per (component, shard):
+//
+//   - item structs in exponentially growing blocks,
+//   - all of an item's uint64 state (counts, childSum, fchildSum) carved
+//     from one shared []uint64 arena,
+//   - the pointer pairs (childHead, childTail) from one []*item arena,
+//     and the key from a []Value arena.
+//
+// A per-node free list recycles dropped items: an item leaves the
+// structure only when every C^i_ψ counter is zero, at which point it is
+// provably unfit (weight 0, unlinked) and childless, so its slices can
+// be zeroed and reused for the next item of the same node — same node,
+// same slice shapes. Everything else is freed wholesale: clearStructure
+// (and with it RebuildFromStore and Load) drops the slab in one step, so
+// the GC retires a whole shard's items as a handful of chunks instead of
+// millions of individual objects.
+//
+// Lifetime caveat (the standard arena trade-off): a dropped item that is
+// not yet recycled keeps its chunk alive, so memory is returned to the
+// GC per shard at clearStructure/RebuildFromStore, not per tuple. The
+// free lists bound the growth: steady-state churn reuses items instead
+// of extending the arenas.
+//
+// Concurrency: a slab belongs to one compShard and inherits its
+// discipline — the parallel batch path claims whole (component, shard)
+// buckets per worker, so no two goroutines ever touch one slab
+// concurrently.
+
+// slabItemBlock / slabArenaChunk size the allocation granularity: item
+// blocks double from 256 up to 8192 structs; arena chunks hold at least
+// 1024 words.
+const (
+	slabItemBlockMin = 256
+	slabItemBlockMax = 8192
+	slabArenaChunk   = 1024
+)
+
+// itemSlab allocates the items of one compShard. The zero value is
+// ready except for the per-node free lists (initFree).
+type itemSlab struct {
+	blocks [][]item // chunked item storage
+	used   int      // structs handed out of the last block
+	u64    []uint64 // remaining region of the current uint64 arena chunk
+	ptr    []*item  // remaining region of the current pointer arena chunk
+	val    []Value  // remaining region of the current key arena chunk
+	free   [][]*item
+}
+
+// initFree sizes the per-node free lists (one per q-tree node — recycled
+// items keep their slice shapes, which are a property of the node).
+func (s *itemSlab) initFree(nodes int) {
+	s.free = make([][]*item, nodes)
+}
+
+// reset frees everything wholesale: all blocks, arenas and free lists
+// are dropped in one step for the GC to retire as whole chunks.
+func (s *itemSlab) reset(nodes int) {
+	*s = itemSlab{}
+	s.initFree(nodes)
+}
+
+// nextStruct hands out the next item struct, growing the block list
+// exponentially up to the cap.
+func (s *itemSlab) nextStruct() *item {
+	if len(s.blocks) == 0 || s.used == len(s.blocks[len(s.blocks)-1]) {
+		size := slabItemBlockMin
+		if n := len(s.blocks); n > 0 {
+			size = 2 * len(s.blocks[n-1])
+			if size > slabItemBlockMax {
+				size = slabItemBlockMax
+			}
+		}
+		s.blocks = append(s.blocks, make([]item, size))
+		s.used = 0
+	}
+	b := s.blocks[len(s.blocks)-1]
+	it := &b[s.used]
+	s.used++
+	return it
+}
+
+// u64s carves n words off the uint64 arena. The returned slice has full
+// capacity n, so later carves can never alias it through append.
+func (s *itemSlab) u64s(n int) []uint64 {
+	if len(s.u64) < n {
+		size := slabArenaChunk
+		if n > size {
+			size = n
+		}
+		s.u64 = make([]uint64, size)
+	}
+	out := s.u64[:n:n]
+	s.u64 = s.u64[n:]
+	return out
+}
+
+// ptrs carves n pointers off the pointer arena.
+func (s *itemSlab) ptrs(n int) []*item {
+	if len(s.ptr) < n {
+		size := slabArenaChunk
+		if n > size {
+			size = n
+		}
+		s.ptr = make([]*item, size)
+	}
+	out := s.ptr[:n:n]
+	s.ptr = s.ptr[n:]
+	return out
+}
+
+// vals carves n values off the key arena.
+func (s *itemSlab) vals(n int) []Value {
+	if len(s.val) < n {
+		size := slabArenaChunk
+		if n > size {
+			size = n
+		}
+		s.val = make([]Value, size)
+	}
+	out := s.val[:n:n]
+	s.val = s.val[n:]
+	return out
+}
+
+// alloc returns a zero-count item for node nd (index nodeIdx) with the
+// given path values (copied) and parent — the slab-backed replacement
+// for the per-item heap allocations of the baseline. Recycled items are
+// fully re-zeroed; their slices are reused as-is (same node, same
+// shapes).
+func (s *itemSlab) alloc(nd *cnode, nodeIdx int32, vals []Value, parent *item) *item {
+	if fl := s.free[nodeIdx]; len(fl) > 0 {
+		it := fl[len(fl)-1]
+		fl[len(fl)-1] = nil
+		s.free[nodeIdx] = fl[:len(fl)-1]
+		copy(it.key, vals)
+		it.parent = parent
+		it.prev, it.next = nil, nil
+		it.inList = false
+		clear(it.counts)
+		it.weight, it.fweight = 0, 0
+		clear(it.childSum)
+		clear(it.fchildSum)
+		clear(it.childHead)
+		clear(it.childTail)
+		return it
+	}
+	it := s.nextStruct()
+	it.key = s.vals(len(vals))
+	copy(it.key, vals)
+	it.parent = parent
+	nt, nc := int(nd.numTracked), len(nd.children)
+	fc := 0
+	if nd.free && nd.freeChildCount > 0 {
+		fc = int(nd.freeChildCount)
+	}
+	u := s.u64s(nt + nc + fc)
+	it.counts = u[:nt:nt]
+	it.childSum = u[nt : nt+nc : nt+nc]
+	if fc > 0 {
+		it.fchildSum = u[nt+nc : nt+nc+fc : nt+nc+fc]
+	}
+	p := s.ptrs(2 * nc)
+	it.childHead = p[:nc:nc]
+	it.childTail = p[nc : 2*nc : 2*nc]
+	return it
+}
+
+// recycle returns a dropped item (all counts zero: unfit, unlinked,
+// childless by invariant (a)) to its node's free list for reuse by the
+// next alloc on the same node.
+func (s *itemSlab) recycle(nodeIdx int32, it *item) {
+	s.free[nodeIdx] = append(s.free[nodeIdx], it)
+}

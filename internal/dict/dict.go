@@ -17,6 +17,8 @@ import "fmt"
 type Dict struct {
 	codes map[string]int64
 	names []string // names[code-1] == external name; codes start at 1
+	hits  uint64   // Encode calls that found an existing code
+	miss  uint64   // Encode calls that assigned a fresh code
 }
 
 // New returns an empty dictionary. Codes are assigned starting at 1,
@@ -30,12 +32,39 @@ func New() *Dict {
 // been seen before.
 func (d *Dict) Encode(name string) int64 {
 	if c, ok := d.codes[name]; ok {
+		d.hits++
 		return c
 	}
+	d.miss++
 	d.names = append(d.names, name)
 	c := int64(len(d.names))
 	d.codes[name] = c
 	return c
+}
+
+// Stats describes the dictionary's encoding traffic: Size is the number
+// of distinct constants, Hits the Encode calls answered from the table,
+// Misses the calls that assigned a fresh code (Hits+Misses is the total
+// Encode traffic; Misses == Size always).
+type Stats struct {
+	Size   int
+	Hits   uint64
+	Misses uint64
+}
+
+// Stats returns the dictionary's current encoding statistics.
+func (d *Dict) Stats() Stats {
+	return Stats{Size: len(d.names), Hits: d.hits, Misses: d.miss}
+}
+
+// HitRate returns the fraction of Encode calls answered from the table,
+// or 0 if Encode was never called.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
 }
 
 // EncodeAll encodes a slice of names, returning freshly allocated codes.

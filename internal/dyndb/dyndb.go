@@ -409,23 +409,27 @@ func (d *Database) Apply(u Update) (bool, error) {
 // the last command touching it and commands on distinct tuples commute.
 // Surviving commands keep the order in which their tuple first appeared
 // in the batch, so coalescing is deterministic. The input is not modified.
+//
+// The slot table is a per-relation tuplekey.Map keyed by the tuples
+// themselves, so coalescing performs no per-command string encoding — the
+// front-door batch path moves interned values end to end.
 func Coalesce(updates []Update) []Update {
 	if len(updates) <= 1 {
 		return append([]Update(nil), updates...)
 	}
-	slot := make(map[string]int, len(updates))
+	slot := make(map[string]*tuplekey.Map[int], 4)
 	out := make([]Update, 0, len(updates))
-	var key []byte
 	for _, u := range updates {
-		key = key[:0]
-		key = append(key, u.Rel...)
-		key = append(key, 0)
-		key = append(key, tuplekey.String(u.Tuple)...)
-		if i, ok := slot[string(key)]; ok {
+		m := slot[u.Rel]
+		if m == nil {
+			m = tuplekey.NewMap[int](0)
+			slot[u.Rel] = m
+		}
+		if i, ok := m.Get(u.Tuple); ok {
 			out[i] = u
 			continue
 		}
-		slot[string(key)] = len(out)
+		m.Put(u.Tuple, len(out))
 		out = append(out, u)
 	}
 	return out

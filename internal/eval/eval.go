@@ -17,6 +17,7 @@ package eval
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"dyncq/internal/cq"
 	"dyncq/internal/dyndb"
@@ -352,11 +353,33 @@ func planOrder(atoms []catom, db *dyndb.Database) []int {
 // detects the epoch mismatch and falls back to dropping every index;
 // they are then rebuilt lazily by relation scans, exactly as on first
 // use. Incremental maintenance is an optimisation with a rebuild safety
-// net, never a correctness risk.
+// net, never a correctness risk. Rebuilds() counts how often that
+// fallback fired with built indexes to drop, so silent store movement is
+// observable in production instead of showing up only as latency.
+//
+// Concurrency contract: Get and the other read entry points (Epoch,
+// Synced, Built, Rebuilds, IndexedRelations, SanityCheck) are safe to
+// call from any number of goroutines concurrently with each other,
+// PROVIDED the underlying store is quiescent — evaluators sharing the
+// set may race on lazy builds and the epoch-sync fallback, which the
+// internal lock serialises. The maintenance entry points (ApplyUpdate,
+// ApplyDelta, Reload) require exclusive access relative to the store
+// mutation they mirror: the owner must not run them concurrently with
+// evaluation, which is exactly the phase discipline of the workspace
+// layer (hooks and fan-out never overlap the store phase).
 type IndexSet struct {
-	db    *dyndb.Database
-	idx   map[indexKey]*Index
-	epoch uint64 // store epoch the indexes reflect
+	db *dyndb.Database
+
+	// mu guards idx, epoch and rebuilds. Concurrent evaluators hold the
+	// read lock on the Get fast path; lazy builds, the epoch-sync
+	// fallback and the maintenance entry points hold the write lock.
+	// Published *Index values are mutated only under the write lock, so a
+	// pointer returned by Get stays internally consistent for every
+	// concurrent reader until the next maintenance call.
+	mu       sync.RWMutex
+	idx      map[indexKey]*Index
+	epoch    uint64 // store epoch the indexes reflect
+	rebuilds uint64 // epoch-mismatch fallbacks that dropped built indexes
 }
 
 type indexKey struct {
@@ -365,11 +388,25 @@ type indexKey struct {
 }
 
 // Index maps the projection of tuples onto the mask's positions to the
-// set of matching tuples.
+// set of matching tuples. Buckets are keyed directly by the projected
+// tuple in a tuplekey.Map, so the probe path (bucket) performs no string
+// encoding and no per-call allocation.
 type Index struct {
 	mask    uint32
 	arity   int
-	buckets map[string]map[string][]Value // projKey → tupleKey → tuple
+	buckets *tuplekey.Map[*ixBucket] // projected tuple → bucket
+	scratch []Value                  // projection scratch, mutators only
+}
+
+// ixBucket holds the tuples sharing one projection: a dense slice for
+// allocation-free iteration plus a position map for O(1) removal.
+type ixBucket struct {
+	pos    *tuplekey.Map[int] // stored tuple → index into tuples
+	tuples [][]Value
+}
+
+func newIndex(mask uint32, arity int) *Index {
+	return &Index{mask: mask, arity: arity, buckets: tuplekey.NewMap[*ixBucket](0)}
 }
 
 // NewIndexSet returns an empty index set over db, synchronised to its
@@ -379,21 +416,46 @@ func NewIndexSet(db *dyndb.Database) *IndexSet {
 }
 
 // Epoch returns the store epoch the indexes reflect.
-func (s *IndexSet) Epoch() uint64 { return s.epoch }
+func (s *IndexSet) Epoch() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.epoch
+}
 
 // Synced reports whether the set is up to date with its store: false
 // means the next Get will take the rebuild fallback.
-func (s *IndexSet) Synced() bool { return s.epoch == s.db.Epoch() }
+func (s *IndexSet) Synced() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.epoch == s.db.Epoch()
+}
 
 // Built returns the number of built indexes. Owners use it to skip
 // computing an incremental reconciliation no index would benefit from.
-func (s *IndexSet) Built() int { return len(s.idx) }
+func (s *IndexSet) Built() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.idx)
+}
+
+// Rebuilds returns how many times the epoch-sync fallback dropped built
+// indexes because the store moved without notification. In steady state
+// (an owner that reports every mutation) it stays zero; a nonzero value
+// means some store movement bypassed the maintenance entry points and
+// indexes were silently rebuilt by relation scans.
+func (s *IndexSet) Rebuilds() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.rebuilds
+}
 
 // IndexedRelations returns the set of relations with at least one built
 // index. A reconciliation diff (Reload) only needs to cover these:
 // commands on any other relation are dropped by the maintenance loop
 // anyway.
 func (s *IndexSet) IndexedRelations() map[string]bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make(map[string]bool, len(s.idx))
 	for k := range s.idx {
 		out[k.rel] = true
@@ -401,25 +463,41 @@ func (s *IndexSet) IndexedRelations() map[string]bool {
 	return out
 }
 
-// sync is the rebuild fallback: if the store moved without notifying the
-// set, every index is dropped (to be rebuilt lazily) and the epoch
-// resynchronised.
-func (s *IndexSet) sync() {
-	if s.epoch == s.db.Epoch() {
+// syncLocked is the rebuild fallback: if the store moved without
+// notifying the set, every index is dropped (to be rebuilt lazily) and
+// the epoch resynchronised. Caller holds the write lock.
+func (s *IndexSet) syncLocked() {
+	cur := s.db.Epoch()
+	if s.epoch == cur {
 		return
 	}
 	if len(s.idx) > 0 {
 		s.idx = make(map[indexKey]*Index)
+		s.rebuilds++
 	}
-	s.epoch = s.db.Epoch()
+	s.epoch = cur
 }
 
 // Get returns the index for (rel, mask), building it by a relation scan if
 // it does not exist yet. A store that moved without notification first
-// invalidates every index (see IndexSet).
+// invalidates every index (see IndexSet). Safe for concurrent use by any
+// number of evaluators while the store is quiescent: the common case (set
+// synced, index built) takes only the read lock.
 func (s *IndexSet) Get(rel string, mask uint32) *Index {
-	s.sync()
 	k := indexKey{rel, mask}
+	storeEpoch := s.db.Epoch()
+	s.mu.RLock()
+	if s.epoch == storeEpoch {
+		if ix, ok := s.idx[k]; ok {
+			s.mu.RUnlock()
+			return ix
+		}
+	}
+	s.mu.RUnlock()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.syncLocked()
 	if ix, ok := s.idx[k]; ok {
 		return ix
 	}
@@ -428,7 +506,7 @@ func (s *IndexSet) Get(rel string, mask uint32) *Index {
 	if r != nil {
 		arity = r.Arity()
 	}
-	ix := &Index{mask: mask, arity: arity, buckets: make(map[string]map[string][]Value)}
+	ix := newIndex(mask, arity)
 	if r != nil {
 		r.Each(func(t []Value) bool {
 			ix.add(t)
@@ -444,6 +522,8 @@ func (s *IndexSet) Get(rel string, mask uint32) *Index {
 // command, exactly once per store-changing command, so the set's epoch
 // advances in lockstep with the store's.
 func (s *IndexSet) ApplyUpdate(u dyndb.Update) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.epoch++
 	s.applyOne(u)
 }
@@ -466,6 +546,8 @@ func (s *IndexSet) applyOne(u dyndb.Update) {
 // survivors handed to dyndb.ApplyNetDelta). The epoch advances by the
 // delta length, staying in lockstep with the store.
 func (s *IndexSet) ApplyDelta(survivors []dyndb.Update) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.epoch += uint64(len(survivors))
 	if len(s.idx) == 0 {
 		return
@@ -482,6 +564,8 @@ func (s *IndexSet) ApplyDelta(survivors []dyndb.Update) {
 // fallback a bare Clear would trigger — and the epoch resynchronises to
 // the store's current value. With no built indexes it only resyncs.
 func (s *IndexSet) Reload(diff []dyndb.Update) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if len(s.idx) > 0 {
 		for _, u := range diff {
 			s.applyOne(u)
@@ -490,68 +574,102 @@ func (s *IndexSet) Reload(diff []dyndb.Update) {
 	s.epoch = s.db.Epoch()
 }
 
-func (ix *Index) projKey(t []Value) string {
-	var proj []Value
+// proj writes the masked positions of t into the index's scratch slice
+// and returns it. Mutators only (add/remove run under the owning set's
+// write lock); the concurrent read path (bucket) never touches scratch.
+func (ix *Index) proj(t []Value) []Value {
+	p := ix.scratch[:0]
 	for j := range t {
 		if ix.mask&(1<<uint(j)) != 0 {
-			proj = append(proj, t[j])
+			p = append(p, t[j])
 		}
 	}
-	return tuplekey.String(proj)
+	ix.scratch = p
+	return p
 }
 
 func (ix *Index) add(t []Value) {
-	pk := ix.projKey(t)
-	b := ix.buckets[pk]
-	if b == nil {
-		b = make(map[string][]Value)
-		ix.buckets[pk] = b
+	p := ix.proj(t)
+	b, ok := ix.buckets.Get(p)
+	if !ok {
+		b = &ixBucket{pos: tuplekey.NewMap[int](0)}
+		ix.buckets.Put(append([]Value(nil), p...), b)
 	}
-	tk := tuplekey.String(t)
-	if _, ok := b[tk]; !ok {
-		b[tk] = append([]Value(nil), t...)
+	if _, ok := b.pos.Get(t); ok {
+		return
 	}
+	stored := append([]Value(nil), t...)
+	b.pos.Put(stored, len(b.tuples))
+	b.tuples = append(b.tuples, stored)
 }
 
 func (ix *Index) remove(t []Value) {
-	pk := ix.projKey(t)
-	b := ix.buckets[pk]
-	if b == nil {
+	p := ix.proj(t)
+	b, ok := ix.buckets.Get(p)
+	if !ok {
 		return
 	}
-	delete(b, tuplekey.String(t))
-	if len(b) == 0 {
-		delete(ix.buckets, pk)
+	i, ok := b.pos.Get(t)
+	if !ok {
+		return
+	}
+	// Swap-delete from the dense slice, keeping the position map exact.
+	last := len(b.tuples) - 1
+	if i != last {
+		moved := b.tuples[last]
+		b.tuples[i] = moved
+		b.pos.Put(moved, i)
+	}
+	b.tuples[last] = nil
+	b.tuples = b.tuples[:last]
+	b.pos.Delete(t)
+	if len(b.tuples) == 0 {
+		ix.buckets.Delete(p)
 	}
 }
 
 // bucket returns the tuples whose masked positions equal boundVals (in
-// mask position order).
+// mask position order). The returned slice is owned by the index and
+// valid until its next mutation; callers must not modify it. No
+// allocation and no key encoding happen on this path.
 func (ix *Index) bucket(boundVals []Value) [][]Value {
-	b := ix.buckets[tuplekey.String(boundVals)]
-	if b == nil {
+	b, ok := ix.buckets.Get(boundVals)
+	if !ok {
 		return nil
 	}
-	out := make([][]Value, 0, len(b))
-	for _, t := range b {
-		out = append(out, t)
-	}
-	return out
+	return b.tuples
 }
 
 // SanityCheck verifies that the index set is consistent with its database
-// (every indexed tuple present, every relation tuple indexed). Intended
-// for tests; cost is linear in the database and indexes.
+// (every indexed tuple present, every relation tuple indexed, every
+// bucket's position map exact). Intended for tests; cost is linear in the
+// database and indexes.
 func (s *IndexSet) SanityCheck() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	for k, ix := range s.idx {
 		count := 0
-		for _, b := range ix.buckets {
-			for _, t := range b {
+		var err error
+		ix.buckets.Range(func(_ []Value, b *ixBucket) bool {
+			if b.pos.Len() != len(b.tuples) {
+				err = fmt.Errorf("index (%s,%b) bucket has %d tuples but %d positions", k.rel, k.mask, len(b.tuples), b.pos.Len())
+				return false
+			}
+			for i, t := range b.tuples {
 				count++
 				if !s.db.Has(k.rel, t...) {
-					return fmt.Errorf("index (%s,%b) holds stale tuple %v", k.rel, k.mask, t)
+					err = fmt.Errorf("index (%s,%b) holds stale tuple %v", k.rel, k.mask, t)
+					return false
+				}
+				if at, ok := b.pos.Get(t); !ok || at != i {
+					err = fmt.Errorf("index (%s,%b) position map wrong for %v", k.rel, k.mask, t)
+					return false
 				}
 			}
+			return true
+		})
+		if err != nil {
+			return err
 		}
 		r := s.db.Relation(k.rel)
 		want := 0

@@ -4,20 +4,23 @@ import (
 	"math/rand"
 	"reflect"
 	"sort"
+	"sync"
 	"testing"
 
 	"dyncq/internal/dyndb"
+	"dyncq/internal/tuplekey"
 )
 
 // dumpIndex flattens an index into sorted (projKey, tupleKey) pairs for
 // order-insensitive comparison.
 func dumpIndex(ix *Index) []string {
 	var out []string
-	for pk, b := range ix.buckets {
-		for tk := range b {
-			out = append(out, pk+"\x00"+tk)
+	ix.buckets.Range(func(pk []int64, b *ixBucket) bool {
+		for _, t := range b.tuples {
+			out = append(out, tuplekey.String(pk)+"\x00"+tuplekey.String(t))
 		}
-	}
+		return true
+	})
 	sort.Strings(out)
 	return out
 }
@@ -163,11 +166,115 @@ func TestIndexSetEpochFallback(t *testing.T) {
 
 	// A Clear nobody diffs takes the same fallback.
 	db.Clear()
-	if s.Get("E", 1) == nil || len(s.Get("E", 1).buckets) != 0 {
+	if s.Get("E", 1) == nil || s.Get("E", 1).buckets.Len() != 0 {
 		t.Fatal("index after unreported Clear not empty")
 	}
 	if !s.Synced() {
 		t.Fatal("set out of sync after fallback")
+	}
+}
+
+// TestIndexSetRebuildsCounter: the fallback is observable — steady-state
+// maintenance leaves Rebuilds at zero, silent store movement with built
+// indexes increments it, and an epoch mismatch with nothing built resyncs
+// without counting (nothing was rebuilt).
+func TestIndexSetRebuildsCounter(t *testing.T) {
+	db := dyndb.New()
+	for i := int64(0); i < 10; i++ {
+		if _, err := db.Insert("E", i, i+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := NewIndexSet(db)
+	s.Get("E", 1)
+	u := dyndb.Insert("E", 100, 101)
+	if _, err := db.Apply(u); err != nil {
+		t.Fatal(err)
+	}
+	s.ApplyUpdate(u)
+	if got := s.Rebuilds(); got != 0 {
+		t.Fatalf("Rebuilds = %d after clean maintenance, want 0", got)
+	}
+	// Mutate behind the set's back: the next Get drops and counts.
+	if _, err := db.Insert("E", 200, 201); err != nil {
+		t.Fatal(err)
+	}
+	s.Get("E", 1)
+	if got := s.Rebuilds(); got != 1 {
+		t.Fatalf("Rebuilds = %d after silent mutation, want 1", got)
+	}
+	// With nothing built, an epoch mismatch resyncs without a rebuild.
+	empty := NewIndexSet(db)
+	if _, err := db.Insert("E", 300, 301); err != nil {
+		t.Fatal(err)
+	}
+	empty.Get("E", 1)
+	if got := empty.Rebuilds(); got != 0 {
+		t.Fatalf("Rebuilds = %d with no indexes to drop, want 0", got)
+	}
+}
+
+// TestIndexSetConcurrentGetMatchesFresh is the concurrent extension of
+// TestIndexSetIncrementalMatchesFresh: after every maintenance step, a
+// group of goroutines hammers Get on random masks concurrently (racing
+// lazy builds and the epoch-sync fallback against each other), and the
+// resulting indexes must equal a fresh NewIndexSet build. Run under
+// -race this is the safety proof for sharing one IndexSet between the
+// workspace's parallel IVM handles.
+func TestIndexSetConcurrentGetMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	masks := []struct {
+		rel  string
+		mask uint32
+	}{{"E", 1}, {"E", 2}, {"E", 3}, {"T", 1}}
+	const readers = 8
+	for trial := 0; trial < 5; trial++ {
+		db := dyndb.New()
+		s := NewIndexSet(db)
+		for step := 0; step < 60; step++ {
+			// Mutate the store (exclusive phase): half the steps notify the
+			// set, the other half leave it to the concurrent fallback.
+			v1, v2 := int64(rng.Intn(10)), int64(rng.Intn(10))
+			var u dyndb.Update
+			if rng.Intn(4) == 0 {
+				u = dyndb.Delete("E", v1, v2)
+			} else if rng.Intn(5) == 0 {
+				u = dyndb.Insert("T", v1)
+			} else {
+				u = dyndb.Insert("E", v1, v2)
+			}
+			changed, err := db.Apply(u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if changed && step%2 == 0 {
+				s.ApplyUpdate(u)
+			}
+			// Quiescent store: concurrent readers race builds and syncs.
+			var wg sync.WaitGroup
+			for r := 0; r < readers; r++ {
+				wg.Add(1)
+				seed := int64(trial*1000 + step*10 + r)
+				go func() {
+					defer wg.Done()
+					lrng := rand.New(rand.NewSource(seed))
+					for i := 0; i < 4; i++ {
+						m := masks[lrng.Intn(len(masks))]
+						ix := s.Get(m.rel, m.mask)
+						if ix == nil {
+							panic("nil index from concurrent Get")
+						}
+						// Exercise the read path too.
+						ix.bucket([]int64{int64(lrng.Intn(10))})
+					}
+				}()
+			}
+			wg.Wait()
+			if !s.Synced() {
+				t.Fatalf("trial %d step %d: set out of sync after concurrent Gets", trial, step)
+			}
+		}
+		checkAgainstFresh(t, s, db)
 	}
 }
 

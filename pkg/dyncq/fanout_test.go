@@ -48,6 +48,12 @@ func TestWorkspaceFanOutByteIdentical(t *testing.T) {
 		if p.Workers != workers {
 			t.Fatalf("Parallelism().Workers = %d, want %d", p.Workers, workers)
 		}
+		// Steady state: every store move went through the maintenance
+		// entry points, so the shared pool must never have fallen back to
+		// dropping its built indexes.
+		if p.IndexRebuilds != 0 {
+			t.Fatalf("workers=%d: %d index rebuilds in steady state, want 0", workers, p.IndexRebuilds)
+		}
 		if got, want := par.Version(), seq.Version(); got != want {
 			t.Fatalf("workers=%d: version %d, sequential %d", workers, got, want)
 		}
@@ -143,6 +149,9 @@ func TestWorkspaceLoadKeepsWarmIndexes(t *testing.T) {
 	if !ws.idx.Synced() {
 		t.Fatal("index set out of sync after warm Load")
 	}
+	if got := ws.Parallelism().IndexRebuilds; got != 0 {
+		t.Fatalf("%d index rebuilds across Load/ApplyBatch steady state, want 0", got)
+	}
 	q := h.Query()
 	if got, want := h.Count(), uint64(eval.Count(q, db2)); got != want {
 		t.Fatalf("count %d after warm Load, oracle %d", got, want)
@@ -160,6 +169,103 @@ func TestWorkspaceLoadKeepsWarmIndexes(t *testing.T) {
 	}
 	if got, want := h.Count(), uint64(eval.Count(q, check)); got != want {
 		t.Fatalf("count %d after post-Load batch, oracle %d", got, want)
+	}
+}
+
+// TestWorkspaceSharedIndexPoolStress is the -race stress test of the
+// goroutine-safe shared index pool: K = 5 IVM handles over one schema
+// all lease indexes from the workspace's one eval.IndexSet while the
+// parallel fan-out runs their delta-joins concurrently (plus concurrent
+// View readers for extra pressure). The results must match a sequential
+// replay, and in steady state the pool must stay synced with zero
+// fallback rebuilds and a clean structural sanity check. Run with -race
+// (the CI race job does, at GOMAXPROCS 1 and 4).
+func TestWorkspaceSharedIndexPoolStress(t *testing.T) {
+	queries := []struct{ name, text string }{
+		{"hard", "Q(x,y) :- S(x), E(x,y), T(y)"}, // ivm by classification
+		{"star", "Q(y) :- E(x,y), T(y)"},         // forced onto the pool
+		{"fan", "Q(x) :- S(x), E(x,y)"},
+		{"pair", "Q(x) :- S(x), T(x)"},
+		{"swap", "Q(x,y) :- E(x,y), S(y)"},
+	}
+	init := workload.RandomDatabase(rand.New(rand.NewSource(331)), multiSchema(), 20, 150)
+	stream := workload.RandomStream(rand.New(rand.NewSource(332)), multiSchema(), 20, 1200, 0.4)
+	const batch = 64
+
+	run := func(workers int) *Workspace {
+		ws := NewWorkspace(WorkspaceOptions{Workers: workers})
+		for _, q := range queries {
+			h, err := ws.RegisterQuery(q.name, cq.MustParse(q.text), Options{Force: StrategyIVM})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if h.Strategy() != StrategyIVM {
+				t.Fatalf("query %s resolved to %v, want ivm", q.name, h.Strategy())
+			}
+		}
+		if err := ws.Load(init); err != nil {
+			t.Fatal(err)
+		}
+		return ws
+	}
+
+	seq := run(1)
+	for from := 0; from < len(stream); from += batch {
+		to := min(from+batch, len(stream))
+		if _, err := seq.ApplyBatch(stream[from:to]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ws := run(4)
+	var done atomic.Bool
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !done.Load() {
+				ws.View(func(v *WorkspaceView) {
+					version := v.Version()
+					for _, q := range queries {
+						if a, b := v.Count(q.name), v.Count(q.name); a != b {
+							t.Errorf("query %s: count moved inside a snapshot: %d -> %d", q.name, a, b)
+						}
+					}
+					if v.Version() != version {
+						t.Errorf("version moved inside a snapshot: %d -> %d", version, v.Version())
+					}
+				})
+			}
+		}()
+	}
+	for from := 0; from < len(stream); from += batch {
+		to := min(from+batch, len(stream))
+		if _, err := ws.ApplyBatch(stream[from:to]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done.Store(true)
+	wg.Wait()
+
+	for _, q := range queries {
+		hs, hp := seq.Handle(q.name), ws.Handle(q.name)
+		if hp.Count() != hs.Count() {
+			t.Fatalf("query %s: count %d parallel vs %d sequential", q.name, hp.Count(), hs.Count())
+		}
+		exactTuples(t, hp.Strategy(), "query "+q.name, hp.Tuples(), hs.Tuples())
+	}
+	if ws.idx == nil {
+		t.Fatal("no shared index pool despite K IVM handles")
+	}
+	if !ws.idx.Synced() {
+		t.Fatal("shared pool out of sync after the stream")
+	}
+	if err := ws.idx.SanityCheck(); err != nil {
+		t.Fatalf("shared pool sanity check: %v", err)
+	}
+	if got := ws.Parallelism().IndexRebuilds; got != 0 {
+		t.Fatalf("%d fallback rebuilds under parallel fan-out, want 0", got)
 	}
 }
 

@@ -108,16 +108,17 @@ type WorkspaceOptions struct {
 // pipeline, many registered live queries. Build one with NewWorkspace;
 // the zero value is not ready. Safe for concurrent use.
 type Workspace struct {
-	mu      sync.RWMutex
-	store   *dyndb.Database
-	idx     *eval.IndexSet // shared by IVM backends; nil while none is registered
-	d       *dict.Dict     // lazily created by Dict/InsertS/DeleteS
-	schema  map[string]int // union schema over all registered queries
-	owner   map[string]string
-	handles map[string]*Handle
-	order   []*Handle // registration order
-	workers int
-	version uint64
+	mu       sync.RWMutex
+	store    *dyndb.Database
+	idx      *eval.IndexSet // shared by IVM backends; nil while none is registered
+	dictOnce sync.Once
+	d        *dict.Dict     // lazily created by Dict/InsertS/DeleteS; guarded by dictOnce, not mu
+	schema   map[string]int // union schema over all registered queries
+	owner    map[string]string
+	handles  map[string]*Handle
+	order    []*Handle // registration order
+	workers  int
+	version  uint64
 }
 
 // NewWorkspace returns an empty workspace with no registered queries.
@@ -409,10 +410,17 @@ type Parallelism struct {
 	// count: > 1 means its delta application runs shard-parallel; 0
 	// means sharding does not apply to its backend (ivm, recompute).
 	QueryShards map[string]int
+	// IndexRebuilds is the shared index set's epoch-fallback counter
+	// (eval.IndexSet.Rebuilds): nonzero means the store moved without
+	// notifying the set and built indexes were silently dropped and
+	// rebuilt by relation scans. In a healthy workspace — where every
+	// mutation goes through the update pipeline — it stays zero. Zero
+	// also when no IVM query is registered (there is no index set).
+	IndexRebuilds uint64
 }
 
 // Parallelism returns the workspace's effective worker and shard
-// counts.
+// counts, plus the shared index set's rebuild counter.
 func (w *Workspace) Parallelism() Parallelism {
 	w.mu.RLock()
 	defer w.mu.RUnlock()
@@ -420,6 +428,9 @@ func (w *Workspace) Parallelism() Parallelism {
 		Workers:     w.workers,
 		StoreShards: w.store.Shards(),
 		QueryShards: make(map[string]int, len(w.order)),
+	}
+	if w.idx != nil {
+		p.IndexRebuilds = w.idx.Rebuilds()
 	}
 	for _, h := range w.order {
 		p.QueryShards[h.name] = h.back.shards()
@@ -474,19 +485,14 @@ func (w *Workspace) StoreMutations() uint64 {
 
 // Dict returns the workspace's dictionary, creating it on first use.
 // The dictionary backs the string-accepting helpers (InsertS/DeleteS)
-// and the CLI's -strings stream mode. It is NOT independently
-// goroutine-safe: do not call Encode on it concurrently with workspace
-// writers — use the helpers, which encode under the workspace lock.
+// and the CLI's -strings stream mode. Dict itself never takes the
+// workspace lock, so it is callable from inside Enumerate/View
+// callbacks (e.g. to Decode tuple values while enumerating). The
+// returned dictionary is NOT independently goroutine-safe: do not call
+// Encode on it concurrently with workspace writers — use the helpers,
+// which encode under the workspace lock.
 func (w *Workspace) Dict() *dict.Dict {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return w.dictLocked()
-}
-
-func (w *Workspace) dictLocked() *dict.Dict {
-	if w.d == nil {
-		w.d = dict.New()
-	}
+	w.dictOnce.Do(func() { w.d = dict.New() })
 	return w.d
 }
 
@@ -499,7 +505,7 @@ func (w *Workspace) InsertS(rel string, names ...string) (bool, error) {
 	if err := w.checkArity(rel, len(names)); err != nil {
 		return false, err
 	}
-	d := w.dictLocked()
+	d := w.Dict()
 	tuple := make([]Value, len(names))
 	for i, n := range names {
 		tuple[i] = d.Encode(n)
@@ -517,7 +523,7 @@ func (w *Workspace) DeleteS(rel string, names ...string) (bool, error) {
 	if err := w.checkArity(rel, len(names)); err != nil {
 		return false, err
 	}
-	d := w.dictLocked()
+	d := w.Dict()
 	tuple := make([]Value, len(names))
 	for i, n := range names {
 		c, ok := d.Lookup(n)
@@ -694,12 +700,12 @@ func (w *Workspace) applyBatchExclusive(updates []Update) (int, error) {
 	// Fan-out phase: every backend sees the full delta with the store
 	// current (core runs its per-atom procedures here, parallel when the
 	// workspace has workers; IVM closes its batch, rebuilding if the
-	// crossover chose to). Backends with private structures (core,
-	// recompute) are independent of each other, so their finishBatch
-	// calls fan out across a worker pool; IVM backends share the one
-	// index set and run sequentially after them. Each handle's work is
-	// self-contained, so the result is byte-identical at any worker
-	// count.
+	// crossover chose to). Every handle's batch close-out — core,
+	// recompute AND ivm — fans out across one worker pool: per-handle
+	// state is private, and the one shared structure (the index set) is
+	// safe for concurrent evaluators over a quiescent store. Each
+	// handle's work is self-contained, so the result is byte-identical
+	// at any worker count.
 	w.finishBatchFanOut(survivors, perNS)
 	for i, h := range w.order {
 		h.maintainNS += perNS[i]
@@ -710,15 +716,26 @@ func (w *Workspace) applyBatchExclusive(updates []Update) (int, error) {
 }
 
 // runHookedStorePhase is the relation-phased store schedule: the delta
-// grouped per relation in first-appearance order, deletions before
-// insertions per relation, each mutation bracketed by the pre/post
-// hooks — the exact schedule of the single-query IVM batch pipeline.
-// Only IVM backends do work in the per-relation hooks, so only they pay
-// the per-hook clock reads; the other strategies' hooks are no-ops and
-// contribute zero to their timers by construction.
+// grouped per relation in first-appearance order, each relation's
+// deletions and insertions bracketed by the pre/post hooks — the exact
+// schedule of the single-query IVM batch pipeline, so every IVM
+// backend's maintained multiplicities are identical to a private-store
+// maintainer replaying the same stream.
+//
+// Two axes of the schedule are parallel while its ordering contract is
+// preserved: the hook phases fan each relation's pre/post hooks out
+// across the handles on a worker pool (per-handle IVM state is private
+// and the shared index set is safe for concurrent evaluators over a
+// quiescent store), and each relation's store mutation goes through the
+// shard-disjoint parallel path (dyndb.ApplyNetDelta) instead of
+// per-tuple sequential writes — a delta-join batch no longer forces the
+// whole store phase sequential. Only IVM backends do work in the hooks,
+// so only they pay the per-hook clock reads; the other strategies'
+// hooks are no-ops and contribute zero to their timers by construction.
 func (w *Workspace) runHookedStorePhase(survivors []Update, perNS []int64) {
 	type relDelta struct {
 		dels, ins [][]Value
+		cmds      []Update // the relation's slice of the net delta
 	}
 	deltas := make(map[string]*relDelta)
 	var relOrder []string
@@ -734,62 +751,56 @@ func (w *Workspace) runHookedStorePhase(survivors []Update, perNS []int64) {
 		} else {
 			d.dels = append(d.dels, u.Tuple)
 		}
+		d.cmds = append(d.cmds, u)
+	}
+	all := w.allHandles()
+	hook := func(i int, fn func(back queryBackend)) {
+		h := w.order[i]
+		if h.strategy != StrategyIVM {
+			fn(h.back)
+			return
+		}
+		t0 := time.Now()
+		fn(h.back)
+		perNS[i] += time.Since(t0).Nanoseconds()
 	}
 	for _, rel := range relOrder {
 		d := deltas[rel]
 		if len(d.dels) > 0 {
-			for i, h := range w.order {
-				if h.strategy != StrategyIVM {
-					h.back.preDelete(rel, d.dels)
-					continue
-				}
-				t0 := time.Now()
-				h.back.preDelete(rel, d.dels)
-				perNS[i] += time.Since(t0).Nanoseconds()
-			}
-			for _, t := range d.dels {
-				if _, err := w.store.Delete(rel, t...); err != nil {
-					panic("dyncq: validated delta failed to apply: " + err.Error())
-				}
-				if w.idx != nil {
-					w.idx.ApplyUpdate(dyndb.Delete(rel, t...))
-				}
-			}
+			// Pre-state hooks: the store has not applied this relation's
+			// delta yet.
+			runPool(all, w.workers, func(i int) {
+				hook(i, func(back queryBackend) { back.preDelete(rel, d.dels) })
+			})
+		}
+		// One relation's slice of a validated net delta is itself a net
+		// delta against the current state (relations are disjoint, earlier
+		// phases touched other relations), so the shard-parallel store
+		// path applies — and the index set's epoch advances in lockstep.
+		w.store.ApplyNetDelta(d.cmds, w.workers)
+		if w.idx != nil {
+			w.idx.ApplyDelta(d.cmds)
 		}
 		if len(d.ins) > 0 {
-			for _, t := range d.ins {
-				if _, err := w.store.Insert(rel, t...); err != nil {
-					panic("dyncq: validated delta failed to apply: " + err.Error())
-				}
-				if w.idx != nil {
-					w.idx.ApplyUpdate(dyndb.Insert(rel, t...))
-				}
-			}
-			for i, h := range w.order {
-				if h.strategy != StrategyIVM {
-					h.back.postInsert(rel, d.ins)
-					continue
-				}
-				t0 := time.Now()
-				h.back.postInsert(rel, d.ins)
-				perNS[i] += time.Since(t0).Nanoseconds()
-			}
+			// Post-state hooks: this relation's delta is fully applied.
+			runPool(all, w.workers, func(i int) {
+				hook(i, func(back queryBackend) { back.postInsert(rel, d.ins) })
+			})
 		}
 	}
 }
 
-// privateHandles returns the indices of handles whose batch/rebuild
-// work touches only private structures (core, recompute) — safe to run
-// on concurrent goroutines. IVM handles are excluded: they evaluate
-// through the one shared index set, which is not goroutine-safe.
-func (w *Workspace) privateHandles() []int {
-	var private []int
-	for i, h := range w.order {
-		if h.strategy != StrategyIVM {
-			private = append(private, i)
-		}
+// allHandles returns the indices of every registered handle — the
+// fan-out pools run all of them concurrently: core and recompute
+// backends touch only private structures, and IVM backends share only
+// the index set, which is safe for concurrent evaluators while the
+// store is quiescent.
+func (w *Workspace) allHandles() []int {
+	out := make([]int, len(w.order))
+	for i := range out {
+		out[i] = i
 	}
-	return private
+	return out
 }
 
 // runPool runs fn(i) for every i in items on up to workers goroutines
@@ -832,18 +843,17 @@ func runPool(items []int, workers int, fn func(i int)) {
 	}
 }
 
-// finishBatchFanOut runs every backend's finishBatch, spreading the
-// private-structure backends over up to w.workers goroutines, then
-// closing the IVM backends sequentially. The worker budget is divided
-// across the concurrently running handles (each core backend's
-// ApplySharedDelta spawns its own shard workers), so a batch never
-// oversubscribes Workers² goroutines. Per-handle timings land in
-// perNS.
+// finishBatchFanOut runs every backend's finishBatch — core, recompute
+// and ivm alike — over up to w.workers goroutines; there is no
+// sequential IVM tail. The worker budget is divided across the
+// concurrently running handles (each core backend's ApplySharedDelta
+// spawns its own shard workers), so a batch never oversubscribes
+// Workers² goroutines. Per-handle timings land in perNS.
 func (w *Workspace) finishBatchFanOut(survivors []Update, perNS []int64) {
-	private := w.privateHandles()
+	all := w.allHandles()
 	concurrency := w.workers
-	if concurrency > len(private) {
-		concurrency = len(private)
+	if concurrency > len(all) {
+		concurrency = len(all)
 	}
 	inner := w.workers
 	if concurrency > 1 {
@@ -852,17 +862,11 @@ func (w *Workspace) finishBatchFanOut(survivors []Update, perNS []int64) {
 			inner = 1
 		}
 	}
-	finish := func(i, workers int) {
+	runPool(all, w.workers, func(i int) {
 		t0 := time.Now()
-		w.order[i].back.finishBatch(survivors, workers)
+		w.order[i].back.finishBatch(survivors, inner)
 		perNS[i] += time.Since(t0).Nanoseconds()
-	}
-	runPool(private, w.workers, func(i int) { finish(i, inner) })
-	for i, h := range w.order {
-		if h.strategy == StrategyIVM {
-			finish(i, w.workers)
-		}
-	}
+	})
 }
 
 // Load performs the preprocessing phase for an initial database across
@@ -927,22 +931,16 @@ func (w *Workspace) loadExclusive(db *dyndb.Database) error {
 }
 
 // rebuildFanOut brings every backend up to date with the store's
-// current contents: private-structure backends (core, recompute) run
-// their preprocessing concurrently on up to w.workers goroutines (they
-// only read the shared store, which is safe), IVM backends sequentially
-// afterwards (they evaluate through the one shared index set, which
-// builds lazily and is not goroutine-safe). The first error in handle
-// order wins and fails the whole load atomically.
+// current contents, all of them concurrently on up to w.workers
+// goroutines: core and recompute preprocessing only reads the shared
+// store, and IVM backends evaluate through the shared index set, whose
+// lazy builds and epoch sync are internally locked. The first error in
+// handle order wins and fails the whole load atomically.
 func (w *Workspace) rebuildFanOut(fail func(error) error) error {
 	errs := make([]error, len(w.order))
-	runPool(w.privateHandles(), w.workers, func(i int) {
-		errs[i] = w.order[i].back.rebuild(nil)
+	runPool(w.allHandles(), w.workers, func(i int) {
+		errs[i] = w.order[i].back.rebuild(w.idx)
 	})
-	for i, h := range w.order {
-		if h.strategy == StrategyIVM {
-			errs[i] = h.back.rebuild(w.idx)
-		}
-	}
 	for _, err := range errs {
 		if err != nil {
 			return fail(err)

@@ -490,6 +490,48 @@ func TestWorkspaceDict(t *testing.T) {
 	}
 }
 
+// TestWorkspaceDictInsideCallback: Dict never takes the workspace lock,
+// so decoding inside Enumerate/View callbacks (which hold the read
+// lock) must not deadlock — the natural way to print string tuples.
+func TestWorkspaceDictInsideCallback(t *testing.T) {
+	ws := NewWorkspace(WorkspaceOptions{})
+	h, err := ws.Register("q", "Q(y) :- E(x,y), T(y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ws.InsertS("E", "alice", "bob"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ws.InsertS("T", "bob"); err != nil {
+		t.Fatal(err)
+	}
+	var got string
+	h.Enumerate(func(tuple []Value) bool {
+		got = ws.Dict().Decode(tuple[0])
+		return true
+	})
+	if got != "bob" {
+		t.Fatalf("decoded %q inside Enumerate, want %q", got, "bob")
+	}
+	ws.View(func(v *WorkspaceView) {
+		if n := ws.Dict().Len(); n != 2 {
+			t.Fatalf("dict has %d symbols inside View, want 2", n)
+		}
+	})
+
+	// First use inside a callback must lazily create the dict without
+	// touching the workspace lock either.
+	ws2 := NewWorkspace(WorkspaceOptions{})
+	if _, err := ws2.Register("q", "Q(y) :- E(x,y), T(y)"); err != nil {
+		t.Fatal(err)
+	}
+	ws2.View(func(v *WorkspaceView) {
+		if d := ws2.Dict(); d == nil {
+			t.Fatal("Dict() = nil inside View")
+		}
+	})
+}
+
 // TestWorkspaceEmptyThenRegister: updates before the first registration
 // populate the store only; a later registration picks them up.
 func TestWorkspaceEmptyThenRegister(t *testing.T) {
