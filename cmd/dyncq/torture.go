@@ -1,0 +1,65 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dyncq/internal/torture"
+)
+
+// cmdTorture drives the torture/soak harness (internal/torture) outside
+// `go test`: the same seeded category matrix, runnable as a one-shot
+// sweep or a time-budgeted soak. Exit status 1 means at least one
+// scenario failed; every failure prints the exact `go test` repro line,
+// and -failure-file records them for CI artifact upload.
+func cmdTorture(args []string) error {
+	fs := flag.NewFlagSet("dyncq torture", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "base seed; soak round r runs every scenario at seed+r")
+	duration := fs.Duration("duration", 0, "soak budget (e.g. 10m); 0 runs the matrix exactly once")
+	category := fs.String("category", "", "restrict to one category (parse, eval, error, lifecycle, concurrency, fanout)")
+	failureFile := fs.String("failure-file", "", "write repro lines for every failure to this file")
+	list := fs.Bool("list", false, "list the scenario matrix and exit")
+	quiet := fs.Bool("quiet", false, "suppress per-round progress lines")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scenarios := torture.All()
+	if *category != "" {
+		scenarios = torture.ByCategory(*category)
+		if len(scenarios) == 0 {
+			return fmt.Errorf("unknown torture category %q (want one of %s)",
+				*category, strings.Join(torture.Categories(), ", "))
+		}
+	}
+	if *list {
+		for _, sc := range scenarios {
+			fmt.Printf("%-12s %-28s %s\n", sc.Category, sc.Name, sc.Brief)
+		}
+		return nil
+	}
+	logf := func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) }
+	if *quiet {
+		logf = nil
+	}
+	failures := torture.Soak(scenarios, *seed, *duration, logf)
+	if len(failures) == 0 {
+		fmt.Printf("torture: %d scenario(s) clean (seed=%d, duration=%s)\n", len(scenarios), *seed, *duration)
+		return nil
+	}
+	var lines []string
+	for _, f := range failures {
+		lines = append(lines, f.Repro())
+		fmt.Fprintf(os.Stderr, "FAIL %s/%s seed=%d: %v\n  repro: %s\n",
+			f.Scenario.Category, f.Scenario.Name, f.Seed, f.Err, f.Repro())
+	}
+	if *failureFile != "" {
+		body := strings.Join(lines, "\n") + "\n"
+		if err := os.WriteFile(*failureFile, []byte(body), 0o644); err != nil {
+			return fmt.Errorf("%d torture failure(s); writing %s also failed: %v", len(failures), *failureFile, err)
+		}
+		fmt.Fprintf(os.Stderr, "torture: wrote %d repro line(s) to %s\n", len(lines), *failureFile)
+	}
+	return fmt.Errorf("torture: %d scenario run(s) failed", len(failures))
+}

@@ -188,6 +188,9 @@ type Report struct {
 	// Multi holds the multi-query workspace phase (see RunMulti);
 	// reports from before the workspace front door simply lack it.
 	Multi []MultiResult `json:"multi,omitempty"`
+	// Large holds the production-scale tier (see RunLarge); only
+	// invocations that opt in (bench -large) produce it.
+	Large []LargeResult `json:"large,omitempty"`
 	// Notes carries free-form context an operator attached to the
 	// artifact — e.g. the before/after allocation reductions recorded
 	// when a memory refactor lands. Purely informational: the compare

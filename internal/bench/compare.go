@@ -9,9 +9,11 @@ import (
 // This file implements the CI perf-regression gate: two reports produced
 // by the same suite are diffed metric by metric, and any latency
 // percentile that grew beyond the tolerance is reported as a regression.
-// Cases, strategies, and sweep points are matched by name; entries
-// present in only one report are skipped, so reports from different
-// suite versions stay comparable on their common part.
+// Cases, strategies, sweep points, and large-tier runs are matched by
+// name; an entry present in only ONE report — whichever side — is
+// skipped with a notice, never silently: reports from different suite
+// versions stay comparable on their common part, and the operator is
+// told exactly what escaped the gate in each direction.
 
 // CompareOptions tunes the regression check.
 type CompareOptions struct {
@@ -228,6 +230,39 @@ func CompareWithNotices(oldRep, newRep Report, opt CompareOptions) ([]Regression
 		}
 	}
 
+	// Large tier: gate each worker run's phase latencies against the
+	// baseline run with the same worker count, phases matched by name —
+	// with skip notices in both directions at every level, like the rest
+	// of the report.
+	switch {
+	case len(newRep.Large) > 0 && len(oldRep.Large) == 0:
+		notices = append(notices, "baseline has no large tier: not gated")
+	case len(newRep.Large) == 0 && len(oldRep.Large) > 0:
+		notices = append(notices, "new report has no large tier (bench -large?): not gated")
+	case len(newRep.Large) > 0:
+		oldLarge := make(map[string]LargeResult, len(oldRep.Large))
+		for _, lg := range oldRep.Large {
+			oldLarge[lg.Name] = lg
+		}
+		newLarge := make(map[string]bool, len(newRep.Large))
+		for _, nl := range newRep.Large {
+			newLarge[nl.Name] = true
+			ol, ok := oldLarge[nl.Name]
+			if !ok {
+				notices = append(notices, fmt.Sprintf("large tier %q absent from baseline: not gated", nl.Name))
+				continue
+			}
+			r, n := compareLargeRuns(nl.Name, ol.Runs, nl.Runs, opt)
+			regs = append(regs, r...)
+			notices = append(notices, n...)
+		}
+		for _, ol := range oldRep.Large {
+			if !newLarge[ol.Name] {
+				notices = append(notices, fmt.Sprintf("large tier %q in baseline but not in new report: not gated", ol.Name))
+			}
+		}
+	}
+
 	if !opt.IncludeSweeps {
 		return regs, notices
 	}
@@ -235,7 +270,9 @@ func CompareWithNotices(oldRep, newRep Report, opt CompareOptions) ([]Regression
 	for _, s := range oldRep.Sweeps {
 		oldSweeps[s.Name] = s
 	}
+	newSweeps := make(map[string]bool, len(newRep.Sweeps))
 	for _, ns := range newRep.Sweeps {
+		newSweeps[ns.Name] = true
 		oldSweep, ok := oldSweeps[ns.Name]
 		if !ok {
 			notices = append(notices, fmt.Sprintf("sweep %q absent from baseline: not gated", ns.Name))
@@ -245,7 +282,9 @@ func CompareWithNotices(oldRep, newRep Report, opt CompareOptions) ([]Regression
 		for _, p := range oldSweep.Points {
 			oldPoints[p.N] = p
 		}
+		newPoints := make(map[int]bool, len(ns.Points))
 		for _, np := range ns.Points {
+			newPoints[np.N] = true
 			op, ok := oldPoints[np.N]
 			if !ok {
 				notices = append(notices, fmt.Sprintf("sweep %q point n=%d absent from baseline: not gated", ns.Name, np.N))
@@ -255,6 +294,64 @@ func CompareWithNotices(oldRep, newRep Report, opt CompareOptions) ([]Regression
 			r, n := compareStrategies(label, op.Strategies, np.Strategies, opt)
 			regs = append(regs, r...)
 			notices = append(notices, n...)
+		}
+		for _, op := range oldSweep.Points {
+			if !newPoints[op.N] {
+				notices = append(notices, fmt.Sprintf("sweep %q point n=%d in baseline but not in new report: not gated", ns.Name, op.N))
+			}
+		}
+	}
+	for _, os := range oldRep.Sweeps {
+		if !newSweeps[os.Name] {
+			notices = append(notices, fmt.Sprintf("sweep %q in baseline but not in new report: not gated", os.Name))
+		}
+	}
+	return regs, notices
+}
+
+// compareLargeRuns diffs the large tier's worker runs: runs matched by
+// worker count, phases by name, with both-direction skip notices.
+func compareLargeRuns(name string, oldRuns, newRuns []LargeWorkerRun, opt CompareOptions) ([]Regression, []string) {
+	var regs []Regression
+	var notices []string
+	oldByWorkers := make(map[int]LargeWorkerRun, len(oldRuns))
+	for _, run := range oldRuns {
+		oldByWorkers[run.Workers] = run
+	}
+	newWorkers := make(map[int]bool, len(newRuns))
+	for _, nr := range newRuns {
+		newWorkers[nr.Workers] = true
+		or, ok := oldByWorkers[nr.Workers]
+		if !ok {
+			notices = append(notices, fmt.Sprintf("large tier %q workers=%d absent from baseline: not gated", name, nr.Workers))
+			continue
+		}
+		oldPhases := make(map[string]LargePhase, len(or.Phases))
+		for _, p := range or.Phases {
+			oldPhases[p.Name] = p
+		}
+		newPhases := make(map[string]bool, len(nr.Phases))
+		for _, np := range nr.Phases {
+			newPhases[np.Name] = true
+			op, ok := oldPhases[np.Name]
+			if !ok {
+				notices = append(notices, fmt.Sprintf("large tier %q workers=%d phase %q absent from baseline: not gated", name, nr.Workers, np.Name))
+				continue
+			}
+			who := fmt.Sprintf("large/%s/workers=%d/%s", name, nr.Workers, np.Name)
+			regs = append(regs, compareMetric(who, "ns.p50", op.NS.P50, np.NS.P50, opt.Tolerance, opt)...)
+			regs = append(regs, compareMetric(who, "ns.p99", op.NS.P99, np.NS.P99, opt.p99Tolerance(), opt)...)
+			notices = append(notices, allocNotices(who, "alloc", op.Alloc, np.Alloc, opt)...)
+		}
+		for _, op := range or.Phases {
+			if !newPhases[op.Name] {
+				notices = append(notices, fmt.Sprintf("large tier %q workers=%d phase %q in baseline but not in new report: not gated", name, nr.Workers, op.Name))
+			}
+		}
+	}
+	for _, or := range oldRuns {
+		if !newWorkers[or.Workers] {
+			notices = append(notices, fmt.Sprintf("large tier %q workers=%d in baseline but not in new report: not gated", name, or.Workers))
 		}
 	}
 	return regs, notices
@@ -267,9 +364,12 @@ func compareStrategies(label string, oldStrats, newStrats []StrategyResult, opt 
 	}
 	var regs []Regression
 	var notices []string
+	newSeen := make(map[string]bool, len(newStrats))
 	for _, ns := range newStrats {
+		newSeen[ns.Strategy] = true
 		oldStrat, ok := old[ns.Strategy]
 		if !ok {
+			notices = append(notices, fmt.Sprintf("%s/%s absent from baseline: not gated", label, ns.Strategy))
 			continue
 		}
 		who := label + "/" + ns.Strategy
@@ -297,6 +397,11 @@ func compareStrategies(label string, oldStrats, newStrats []StrategyResult, opt 
 			if op, ok := oldParallel[np.Workers]; ok {
 				notices = append(notices, allocNotices(fmt.Sprintf("%s/workers=%d", who, np.Workers), "alloc", op.Alloc, np.Alloc, opt)...)
 			}
+		}
+	}
+	for _, os := range oldStrats {
+		if !newSeen[os.Strategy] {
+			notices = append(notices, fmt.Sprintf("%s/%s in baseline but not in new report: not gated", label, os.Strategy))
 		}
 	}
 	return regs, notices

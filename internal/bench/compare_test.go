@@ -2,6 +2,7 @@ package bench
 
 import (
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -253,5 +254,142 @@ func TestCompareAllocationNotices(t *testing.T) {
 	// Improvements stay quiet.
 	if _, n := CompareWithNotices(mk(20, 4096), mk(10, 1024), opt); len(n) != 0 {
 		t.Errorf("allocation improvement noticed: %v", n)
+	}
+}
+
+// containsNotice reports whether any notice contains the substring.
+func containsNotice(notices []string, sub string) bool {
+	for _, n := range notices {
+		if strings.Contains(n, sub) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCompareStrategyNoticesBothDirections: a strategy present in only
+// one report — either side — earns a skip notice instead of a silent
+// pass. The new-report side regressing out of the gate unnoticed was
+// exactly the gap: dropping a strategy from the suite used to silence
+// its gate without a trace.
+func TestCompareStrategyNoticesBothDirections(t *testing.T) {
+	mk := func(strategies ...string) Report {
+		c := CaseResult{Name: "star"}
+		for _, s := range strategies {
+			c.Strategies = append(c.Strategies, StrategyResult{
+				Strategy: s,
+				UpdateNS: Percentiles{P50: 10000, P99: 20000},
+				DelayNS:  Percentiles{P50: 10000, P99: 20000},
+			})
+		}
+		return Report{Cases: []CaseResult{c}}
+	}
+	regs, notices := CompareWithNotices(mk("core", "ivm"), mk("core", "recompute"), DefaultCompareOptions())
+	if len(regs) != 0 {
+		t.Fatalf("unmatched strategies produced regressions: %v", regs)
+	}
+	if !containsNotice(notices, `star/recompute absent from baseline`) {
+		t.Errorf("no notice for strategy only in new report: %v", notices)
+	}
+	if !containsNotice(notices, `star/ivm in baseline but not in new report`) {
+		t.Errorf("no notice for strategy only in baseline: %v", notices)
+	}
+	// Matched strategies stay quiet.
+	if _, n := CompareWithNotices(mk("core"), mk("core"), DefaultCompareOptions()); len(n) != 0 {
+		t.Errorf("matched strategies noticed: %v", n)
+	}
+}
+
+// TestCompareSweepNoticesBothDirections: sweeps and sweep points get the
+// same two-direction treatment.
+func TestCompareSweepNoticesBothDirections(t *testing.T) {
+	mk := func(name string, ns ...int) SweepResult {
+		sw := SweepResult{Name: name}
+		for _, n := range ns {
+			sw.Points = append(sw.Points, SweepPoint{N: n, Strategies: []StrategyResult{{
+				Strategy: "core",
+				UpdateNS: Percentiles{P50: 10000, P99: 20000},
+			}}})
+		}
+		return sw
+	}
+	oldRep := Report{Sweeps: []SweepResult{mk("star-scaling", 100, 200), mk("old-only-sweep", 100)}}
+	newRep := Report{Sweeps: []SweepResult{mk("star-scaling", 100, 400), mk("new-only-sweep", 100)}}
+	opt := DefaultCompareOptions()
+	opt.IncludeSweeps = true
+	regs, notices := CompareWithNotices(oldRep, newRep, opt)
+	if len(regs) != 0 {
+		t.Fatalf("unmatched sweep entries produced regressions: %v", regs)
+	}
+	for _, want := range []string{
+		`sweep "star-scaling" point n=400 absent from baseline`,
+		`sweep "star-scaling" point n=200 in baseline but not in new report`,
+		`sweep "new-only-sweep" absent from baseline`,
+		`sweep "old-only-sweep" in baseline but not in new report`,
+	} {
+		if !containsNotice(notices, want) {
+			t.Errorf("missing notice %q in %v", want, notices)
+		}
+	}
+	// Without IncludeSweeps the sweep section stays entirely quiet.
+	if _, n := CompareWithNotices(oldRep, newRep, DefaultCompareOptions()); containsNotice(n, "sweep") {
+		t.Errorf("sweep notices without IncludeSweeps: %v", n)
+	}
+}
+
+// TestCompareLargeTier: large-tier runs gate their phase percentiles and
+// report skip notices in both directions at every level (tier, worker
+// count, phase).
+func TestCompareLargeTier(t *testing.T) {
+	mk := func(updatesP50 int64, workers ...int) Report {
+		lg := LargeResult{Name: "large-zipf-k64"}
+		for _, w := range workers {
+			// p99 held constant so only the p50 movement is under test.
+			lg.Runs = append(lg.Runs, LargeWorkerRun{Workers: w, Phases: []LargePhase{
+				{Name: "load"},
+				{Name: "updates", NS: Percentiles{P50: updatesP50, P99: 1000000}},
+				{Name: "read", NS: Percentiles{P50: 20000, P99: 40000}},
+			}})
+		}
+		return Report{Large: []LargeResult{lg}}
+	}
+	opt := DefaultCompareOptions()
+
+	// Identical tiers: quiet.
+	regs, notices := CompareWithNotices(mk(100000, 1, 2), mk(100000, 1, 2), opt)
+	if len(regs) != 0 || len(notices) != 0 {
+		t.Fatalf("identical large tiers flagged: regs=%v notices=%v", regs, notices)
+	}
+	// A doubled updates-phase median is a regression per worker run.
+	regs, _ = CompareWithNotices(mk(100000, 1, 2), mk(200000, 1, 2), opt)
+	if len(regs) != 2 {
+		t.Fatalf("doubled large updates p50: %v", regs)
+	}
+	if regs[0].Case != "large/large-zipf-k64/workers=1/updates" || regs[0].Metric != "ns.p50" {
+		t.Fatalf("regression = %+v", regs[0])
+	}
+	// Worker counts present on only one side: notices both ways.
+	_, notices = CompareWithNotices(mk(100000, 1, 2), mk(100000, 1, 4), opt)
+	if !containsNotice(notices, "workers=4 absent from baseline") {
+		t.Errorf("no notice for new-only worker count: %v", notices)
+	}
+	if !containsNotice(notices, "workers=2 in baseline but not in new report") {
+		t.Errorf("no notice for baseline-only worker count: %v", notices)
+	}
+	// Whole tier on only one side.
+	if _, n := CompareWithNotices(Report{}, mk(100000, 1), opt); !containsNotice(n, "baseline has no large tier") {
+		t.Errorf("no notice for large tier missing from baseline: %v", n)
+	}
+	if _, n := CompareWithNotices(mk(100000, 1), Report{}, opt); !containsNotice(n, "new report has no large tier") {
+		t.Errorf("no notice for large tier missing from new report: %v", n)
+	}
+	// Phases present on only one side.
+	dropPhase := mk(100000, 1)
+	dropPhase.Large[0].Runs[0].Phases = dropPhase.Large[0].Runs[0].Phases[:2] // no read phase
+	if _, n := CompareWithNotices(mk(100000, 1), dropPhase, opt); !containsNotice(n, `phase "read" in baseline but not in new report`) {
+		t.Errorf("no notice for baseline-only phase: %v", n)
+	}
+	if _, n := CompareWithNotices(dropPhase, mk(100000, 1), opt); !containsNotice(n, `phase "read" absent from baseline`) {
+		t.Errorf("no notice for new-only phase: %v", n)
 	}
 }

@@ -1,0 +1,392 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"dyncq/internal/cq"
+	"dyncq/internal/dyndb"
+	"dyncq/internal/workload"
+	"dyncq/pkg/dyncq"
+)
+
+// This file implements the large tier: one production-shaped workload —
+// a million-tuple initial database, a Zipf-skewed mixed insert/delete
+// stream, and K >= 64 live queries over grouped relations — measured
+// per phase (load, updates, read) with latency percentiles and
+// allocator traffic, across worker counts. Results are checked across
+// worker counts by result fingerprints, so the "byte-identical
+// regardless of parallelism" claim is enforced at a scale where storing
+// every result set for comparison would dwarf the workload itself.
+
+// LargeConfig describes the large-tier workload. Queries are generated
+// over Groups disjoint relation groups {E<g>/2, T<g>/1, S<g>/1}, four
+// per group (two core routes, one IVM, one forced recompute), so the
+// per-group state stays bounded while the workspace fans out to
+// 4*Groups live queries.
+type LargeConfig struct {
+	// Name labels the tier in the report.
+	Name string
+	// Seed drives every generated artifact; same seed, same workload.
+	Seed int64
+	// Groups is the number of relation groups; the query count is
+	// 4*Groups (64 at the default 16).
+	Groups int
+	// Tuples is the initial database size, split across the groups.
+	Tuples int
+	// Updates is the measured stream length, split across the groups.
+	Updates int
+	// BatchSize is the chunk size of the update phase (0 = 1024).
+	BatchSize int
+	// Workers lists the worker counts to measure. A workers=1 baseline
+	// always runs (recorded, whether or not the list names it): it is
+	// what speedups and fingerprint matches are computed against.
+	Workers []int
+	// PDelete, ZipfS, ZipfV shape each group's stream exactly as in
+	// workload.TortureConfig.
+	PDelete float64
+	ZipfS   float64
+	ZipfV   float64
+	// MaxEnumerate caps the tuples pulled per query in the timed read
+	// phase (0 = enumerate everything). The fingerprint pass always
+	// enumerates everything, untimed.
+	MaxEnumerate int
+}
+
+// DefaultLargeConfig is the production-scale tier the nightly runs: one
+// million initial tuples, a heavily skewed stream, 64 live queries.
+func DefaultLargeConfig(seed int64) LargeConfig {
+	return LargeConfig{
+		Name:    "large-zipf-k64",
+		Seed:    seed,
+		Groups:  16,
+		Tuples:  1_000_000,
+		Updates: 100_000,
+		Workers: []int{1, 2, 4},
+		PDelete: 0.35,
+		ZipfS:   1.2,
+		ZipfV:   8,
+	}
+}
+
+func (c LargeConfig) withDefaults() LargeConfig {
+	if c.Name == "" {
+		c.Name = "large"
+	}
+	if c.Groups < 1 {
+		c.Groups = 1
+	}
+	if c.Tuples < c.Groups {
+		c.Tuples = c.Groups
+	}
+	if c.Updates < 0 {
+		c.Updates = 0
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 1024
+	}
+	return c
+}
+
+// LargePhase is one measured phase of a large-tier run.
+type LargePhase struct {
+	// Name is load (bulk preprocessing), updates (the batched stream) or
+	// read (count + capped enumeration over every query).
+	Name string `json:"name"`
+	// Ops is the phase's denominator: tuples for load, stream updates
+	// for updates, queries for read.
+	Ops     int   `json:"ops"`
+	TotalNS int64 `json:"total_ns"`
+	// NS summarises the phase's individual latencies — per batch for
+	// updates, per query for read; load is one block and leaves it zero.
+	NS Percentiles `json:"ns"`
+	// Alloc is the allocator traffic per op.
+	Alloc AllocStats `json:"alloc"`
+}
+
+// LargeWorkerRun is one worker count's full pass over the tier.
+type LargeWorkerRun struct {
+	Workers int          `json:"workers"`
+	Phases  []LargePhase `json:"phases"`
+	// UpdatesPerSec is the update phase's stream-level throughput;
+	// SpeedupVs1 compares the update phase against the workers=1 run.
+	UpdatesPerSec float64 `json:"updates_per_sec"`
+	SpeedupVs1    float64 `json:"speedup_vs_1,omitempty"`
+	// MatchesWorkers1 reports whether every query's fingerprint — exact
+	// enumeration order for core backends, order-free for the others —
+	// equals the workers=1 run's. The layout (store and engine shards)
+	// is pinned across runs, so false is a scheduling bug.
+	MatchesWorkers1 bool `json:"matches_workers_1"`
+}
+
+// LargeResult is the report entry of one large-tier configuration.
+type LargeResult struct {
+	Name       string           `json:"name"`
+	Seed       int64            `json:"seed"`
+	Groups     int              `json:"groups"`
+	NumQueries int              `json:"num_queries"`
+	InitSize   int              `json:"initial_size"`
+	StreamSize int              `json:"stream_size"`
+	BatchSize  int              `json:"batch_size"`
+	PDelete    float64          `json:"p_delete"`
+	ZipfS      float64          `json:"zipf_s"`
+	ZipfV      float64          `json:"zipf_v"`
+	Runs       []LargeWorkerRun `json:"runs"`
+}
+
+// Diverged returns the worker counts whose results did not match the
+// workers=1 baseline — the list a caller turns into a hard failure.
+func (r LargeResult) Diverged() []int {
+	var out []int
+	for _, run := range r.Runs {
+		if !run.MatchesWorkers1 {
+			out = append(out, run.Workers)
+		}
+	}
+	return out
+}
+
+// largeQueries builds the 4*Groups query pool over the grouped schema.
+func largeQueries(groups int) ([]NamedQuery, error) {
+	out := make([]NamedQuery, 0, 4*groups)
+	for g := 0; g < groups; g++ {
+		for _, t := range []struct {
+			kind  string
+			text  string
+			force dyncq.Strategy
+		}{
+			{"star", fmt.Sprintf("Q(y) :- E%d(x,y), T%d(y)", g, g), dyncq.StrategyAuto},
+			{"src", fmt.Sprintf("Q(x) :- E%d(x,y)", g), dyncq.StrategyAuto},
+			{"hard", fmt.Sprintf("Q(x,y) :- S%d(x), E%d(x,y), T%d(y)", g, g, g), dyncq.StrategyAuto},
+			{"audit", fmt.Sprintf("Q(y) :- E%d(x,y), T%d(y)", g, g), dyncq.StrategyRecompute},
+		} {
+			q, err := cq.Parse(t.text)
+			if err != nil {
+				return nil, fmt.Errorf("large tier: query %q: %w", t.text, err)
+			}
+			out = append(out, NamedQuery{Name: fmt.Sprintf("g%02d-%s", g, t.kind), Query: q, Force: t.force})
+		}
+	}
+	return out, nil
+}
+
+// largeGroupSchema is group g's slice of the schema.
+func largeGroupSchema(g int) map[string]int {
+	return map[string]int{
+		fmt.Sprintf("E%d", g): 2,
+		fmt.Sprintf("T%d", g): 1,
+		fmt.Sprintf("S%d", g): 1,
+	}
+}
+
+// largeWorkload builds the initial database and the interleaved update
+// stream — a pure function of the config.
+func largeWorkload(cfg LargeConfig) (*dyndb.Database, []dyndb.Update, error) {
+	initDB := dyndb.New()
+	perGroup := make([][]dyndb.Update, cfg.Groups)
+	for g := 0; g < cfg.Groups; g++ {
+		gc := workload.TortureConfig{
+			Seed:    cfg.Seed + int64(g),
+			Domain:  cfg.Tuples / cfg.Groups, // ~half-full relations under the birthday bound
+			Updates: cfg.Updates / cfg.Groups,
+			PDelete: cfg.PDelete,
+			ZipfS:   cfg.ZipfS,
+			ZipfV:   cfg.ZipfV,
+		}
+		schema := largeGroupSchema(g)
+		gdb := gc.Database(schema, cfg.Tuples/cfg.Groups)
+		if err := initDB.ApplyAll(gdb.Updates()); err != nil {
+			return nil, nil, fmt.Errorf("large tier: merging group %d: %w", g, err)
+		}
+		perGroup[g] = gc.Stream(schema)
+	}
+	// Interleave the group streams round-robin so every batch touches
+	// every group — the fan-out always has all K queries' relations in
+	// flight, never a quiet majority.
+	var stream []dyndb.Update
+	for i := 0; ; i++ {
+		live := false
+		for g := 0; g < cfg.Groups; g++ {
+			if i < len(perGroup[g]) {
+				stream = append(stream, perGroup[g][i])
+				live = true
+			}
+		}
+		if !live {
+			break
+		}
+	}
+	return initDB, stream, nil
+}
+
+// fingerprint folds one query's full result into 64 bits: an FNV-style
+// chain over the enumeration when ordered (core's canonical order is
+// part of the contract), a commutative sum of per-tuple hashes
+// otherwise (the other backends enumerate in unspecified order).
+func fingerprint(h *dyncq.Handle, ordered bool) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	var acc uint64
+	if ordered {
+		acc = offset
+	}
+	h.Enumerate(func(tuple []dyncq.Value) bool {
+		th := uint64(offset)
+		th = (th ^ uint64(len(tuple))) * prime
+		for _, v := range tuple {
+			th = (th ^ uint64(v)) * prime
+		}
+		if ordered {
+			acc = (acc ^ th) * prime
+		} else {
+			acc += th
+		}
+		return true
+	})
+	return acc
+}
+
+// RunLarge measures the tier: a workers=1 baseline plus one run per
+// configured worker count, all with the pinned scalingShards layout so
+// the fingerprint comparison is exact. The returned result records
+// divergence (LargeWorkerRun.MatchesWorkers1 / LargeResult.Diverged);
+// deciding whether that fails the invocation is the caller's policy.
+func RunLarge(cfg LargeConfig) (LargeResult, error) {
+	cfg = cfg.withDefaults()
+	queries, err := largeQueries(cfg.Groups)
+	if err != nil {
+		return LargeResult{}, err
+	}
+	initDB, stream, err := largeWorkload(cfg)
+	if err != nil {
+		return LargeResult{}, err
+	}
+	res := LargeResult{
+		Name:       cfg.Name,
+		Seed:       cfg.Seed,
+		Groups:     cfg.Groups,
+		NumQueries: len(queries),
+		InitSize:   initDB.Cardinality(),
+		StreamSize: len(stream),
+		BatchSize:  cfg.BatchSize,
+		PDelete:    cfg.PDelete,
+		ZipfS:      cfg.ZipfS,
+		ZipfV:      cfg.ZipfV,
+	}
+
+	type runOut struct {
+		run   LargeWorkerRun
+		fps   []uint64
+		count []uint64
+	}
+	measure := func(workers int) (runOut, error) {
+		out := runOut{run: LargeWorkerRun{Workers: workers}}
+		ws := dyncq.NewWorkspace(dyncq.WorkspaceOptions{Workers: workers, StoreShards: scalingShards})
+		handles := make([]*dyncq.Handle, len(queries))
+		for i, nq := range queries {
+			h, err := ws.RegisterQuery(nq.Name, nq.Query, dyncq.Options{Force: nq.Force, Shards: scalingShards})
+			if err != nil {
+				return out, fmt.Errorf("large tier: register %s: %w", nq.Name, err)
+			}
+			handles[i] = h
+		}
+
+		// Phase 1: load. One block — preprocessing at scale.
+		am := startAllocMeter()
+		t0 := time.Now()
+		if err := ws.Load(initDB); err != nil {
+			return out, fmt.Errorf("large tier: load: %w", err)
+		}
+		loadNS := time.Since(t0).Nanoseconds()
+		out.run.Phases = append(out.run.Phases, LargePhase{
+			Name: "load", Ops: res.InitSize, TotalNS: loadNS, Alloc: am.perOp(res.InitSize),
+		})
+
+		// Phase 2: updates. The batched stream, per-batch latencies.
+		am = startAllocMeter()
+		lat := make([]int64, 0, len(stream)/cfg.BatchSize+1)
+		var totalNS int64
+		for from := 0; from < len(stream); from += cfg.BatchSize {
+			to := from + cfg.BatchSize
+			if to > len(stream) {
+				to = len(stream)
+			}
+			t0 := time.Now()
+			if _, err := ws.ApplyBatch(stream[from:to]); err != nil {
+				return out, fmt.Errorf("large tier: batch at %d: %w", from, err)
+			}
+			ns := time.Since(t0).Nanoseconds()
+			lat = append(lat, ns)
+			totalNS += ns
+		}
+		out.run.Phases = append(out.run.Phases, LargePhase{
+			Name: "updates", Ops: len(stream), TotalNS: totalNS, NS: percentiles(lat), Alloc: am.perOp(len(stream)),
+		})
+		if totalNS > 0 {
+			out.run.UpdatesPerSec = float64(len(stream)) / (float64(totalNS) / 1e9)
+		}
+
+		// Phase 3: read. Count plus capped enumeration, per query.
+		am = startAllocMeter()
+		readLat := make([]int64, 0, len(handles))
+		var readNS int64
+		for _, h := range handles {
+			t0 := time.Now()
+			_ = h.Count()
+			n := 0
+			h.Enumerate(func([]dyncq.Value) bool {
+				n++
+				return cfg.MaxEnumerate <= 0 || n < cfg.MaxEnumerate
+			})
+			ns := time.Since(t0).Nanoseconds()
+			readLat = append(readLat, ns)
+			readNS += ns
+		}
+		out.run.Phases = append(out.run.Phases, LargePhase{
+			Name: "read", Ops: len(handles), TotalNS: readNS, NS: percentiles(readLat), Alloc: am.perOp(len(handles)),
+		})
+
+		// Fingerprints, untimed: the cross-worker identity check.
+		out.fps = make([]uint64, len(handles))
+		out.count = make([]uint64, len(handles))
+		for i, h := range handles {
+			out.fps[i] = fingerprint(h, h.Strategy() == dyncq.StrategyCore)
+			out.count[i] = h.Count()
+		}
+		if err := ws.CheckInvariants(); err != nil {
+			return out, fmt.Errorf("large tier (workers=%d): %w", workers, err)
+		}
+		return out, nil
+	}
+
+	base, err := measure(1)
+	if err != nil {
+		return res, err
+	}
+	base.run.MatchesWorkers1 = true
+	base.run.SpeedupVs1 = 1
+	baseUpdateNS := base.run.Phases[1].TotalNS
+	res.Runs = append(res.Runs, base.run)
+	for _, workers := range cfg.Workers {
+		if workers <= 1 {
+			continue
+		}
+		out, err := measure(workers)
+		if err != nil {
+			return res, err
+		}
+		out.run.MatchesWorkers1 = true
+		for i := range queries {
+			if out.fps[i] != base.fps[i] || out.count[i] != base.count[i] {
+				out.run.MatchesWorkers1 = false
+			}
+		}
+		if ns := out.run.Phases[1].TotalNS; baseUpdateNS > 0 && ns > 0 {
+			out.run.SpeedupVs1 = float64(baseUpdateNS) / float64(ns)
+		}
+		res.Runs = append(res.Runs, out.run)
+	}
+	return res, nil
+}

@@ -1,0 +1,152 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+
+	"dyncq/internal/cq"
+	"dyncq/pkg/dyncq"
+)
+
+// tinyLarge is the test-sized tier: same code path as the nightly
+// million-tuple run, two orders of magnitude smaller.
+func tinyLarge(seed int64) LargeConfig {
+	return LargeConfig{
+		Name:    "large-test",
+		Seed:    seed,
+		Groups:  2,
+		Tuples:  3000,
+		Updates: 1500,
+		Workers: []int{1, 2},
+		PDelete: 0.35,
+		ZipfS:   1.2,
+		ZipfV:   4,
+	}
+}
+
+func TestRunLargePhasesAndIdentity(t *testing.T) {
+	res, err := RunLarge(tinyLarge(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumQueries != 8 {
+		t.Fatalf("NumQueries = %d, want 4*Groups = 8", res.NumQueries)
+	}
+	if res.InitSize == 0 || res.StreamSize == 0 {
+		t.Fatalf("empty workload: init=%d stream=%d", res.InitSize, res.StreamSize)
+	}
+	if len(res.Runs) != 2 || res.Runs[0].Workers != 1 || res.Runs[1].Workers != 2 {
+		t.Fatalf("runs = %+v, want workers 1 then 2", res.Runs)
+	}
+	for _, run := range res.Runs {
+		if !run.MatchesWorkers1 {
+			t.Errorf("workers=%d diverged from the workers=1 baseline", run.Workers)
+		}
+		if len(run.Phases) != 3 {
+			t.Fatalf("workers=%d: %d phases, want load/updates/read", run.Workers, len(run.Phases))
+		}
+		for i, want := range []string{"load", "updates", "read"} {
+			p := run.Phases[i]
+			if p.Name != want {
+				t.Fatalf("workers=%d phase %d = %q, want %q", run.Workers, i, p.Name, want)
+			}
+			if p.TotalNS <= 0 || p.Ops <= 0 {
+				t.Errorf("workers=%d phase %s: TotalNS=%d Ops=%d, want positive", run.Workers, p.Name, p.TotalNS, p.Ops)
+			}
+			if p.Alloc.zero() {
+				t.Errorf("workers=%d phase %s: no allocator traffic recorded", run.Workers, p.Name)
+			}
+		}
+		if run.UpdatesPerSec <= 0 {
+			t.Errorf("workers=%d: UpdatesPerSec = %v", run.Workers, run.UpdatesPerSec)
+		}
+	}
+	if d := res.Diverged(); len(d) != 0 {
+		t.Errorf("Diverged() = %v, want none", d)
+	}
+	// The tier must survive the report round-trip (the nightly artifact).
+	var rep Report
+	rep.Large = append(rep.Large, res)
+	blob, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Large) != 1 || back.Large[0].Name != "large-test" || len(back.Large[0].Runs) != 2 {
+		t.Fatalf("report round-trip lost the large tier: %+v", back.Large)
+	}
+}
+
+func TestRunLargeDeterministicWorkload(t *testing.T) {
+	a, err := RunLarge(tinyLarge(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunLarge(tinyLarge(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.InitSize != b.InitSize || a.StreamSize != b.StreamSize {
+		t.Fatalf("same seed, different workload: (%d,%d) vs (%d,%d)",
+			a.InitSize, a.StreamSize, b.InitSize, b.StreamSize)
+	}
+	c, err := RunLarge(tinyLarge(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.InitSize == a.InitSize && c.StreamSize == a.StreamSize {
+		t.Logf("note: seeds 11 and 12 produced identically sized workloads (possible, but suspicious)")
+	}
+}
+
+func TestLargeDivergedReporting(t *testing.T) {
+	r := LargeResult{Runs: []LargeWorkerRun{
+		{Workers: 1, MatchesWorkers1: true},
+		{Workers: 2, MatchesWorkers1: false},
+		{Workers: 4, MatchesWorkers1: true},
+		{Workers: 8, MatchesWorkers1: false},
+	}}
+	d := r.Diverged()
+	if len(d) != 2 || d[0] != 2 || d[1] != 8 {
+		t.Fatalf("Diverged() = %v, want [2 8]", d)
+	}
+}
+
+func TestFingerprintOrderSensitivity(t *testing.T) {
+	// The unordered fingerprint must be insertion-order independent (it
+	// checks set equality for ivm/recompute backends); same content in a
+	// different order, same fingerprint.
+	build := func(updates []dyncq.Update) *dyncq.Handle {
+		ws := dyncq.NewWorkspace(dyncq.WorkspaceOptions{})
+		h, err := ws.RegisterQuery("q", mustParseQuery(t, "Q(x,y) :- E(x,y)"), dyncq.Options{Force: dyncq.StrategyRecompute})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ws.ApplyBatch(updates); err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	fwd := []dyncq.Update{dyncq.Insert("E", 1, 2), dyncq.Insert("E", 3, 4), dyncq.Insert("E", 5, 6)}
+	rev := []dyncq.Update{dyncq.Insert("E", 5, 6), dyncq.Insert("E", 3, 4), dyncq.Insert("E", 1, 2)}
+	if a, b := fingerprint(build(fwd), false), fingerprint(build(rev), false); a != b {
+		t.Fatalf("unordered fingerprint depends on insertion order: %x vs %x", a, b)
+	}
+	// Different content must (overwhelmingly) differ.
+	other := []dyncq.Update{dyncq.Insert("E", 1, 2), dyncq.Insert("E", 3, 4), dyncq.Insert("E", 5, 7)}
+	if a, b := fingerprint(build(fwd), false), fingerprint(build(other), false); a == b {
+		t.Fatalf("different results share fingerprint %x", a)
+	}
+}
+
+func mustParseQuery(t *testing.T, text string) *cq.Query {
+	t.Helper()
+	q, err := cq.Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}

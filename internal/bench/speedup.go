@@ -64,6 +64,23 @@ func SpeedupSummary(r Report, opt SpeedupOptions) (lines, notices []string) {
 			}
 		}
 	}
+	for _, lg := range r.Large {
+		for _, run := range lg.Runs {
+			if run.Workers == 1 {
+				continue
+			}
+			ok := "results identical to workers=1"
+			if !run.MatchesWorkers1 {
+				ok = "DIVERGES FROM workers=1"
+			}
+			lines = append(lines, fmt.Sprintf("large/%s workers=%d: %.2fx vs workers=1 (%.0f updates/s, %s)",
+				lg.Name, run.Workers, run.SpeedupVs1, run.UpdatesPerSec, ok))
+			if multiCore && run.Workers == 2 && run.SpeedupVs1 > 0 && run.SpeedupVs1 < minAtTwo {
+				notices = append(notices, fmt.Sprintf("large/%s: workers=2 speedup %.2fx < %.2fx",
+					lg.Name, run.SpeedupVs1, minAtTwo))
+			}
+		}
+	}
 	if !multiCore {
 		lines = append(lines, "single-CPU machine: parallel scaling is not expected here, notices suppressed")
 		notices = nil

@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// speedupReport builds a report with one under-scaling measurement in
+// every phase family (case-parallel, multi-scaling, large tier).
+func speedupReport(numCPU int, speedup float64) Report {
+	return Report{
+		NumCPU:     numCPU,
+		Gomaxprocs: numCPU,
+		Cases: []CaseResult{{
+			Name: "star",
+			Strategies: []StrategyResult{{
+				Strategy: "core",
+				Parallel: []ParallelResult{
+					{Workers: 1, SpeedupVs1: 1},
+					{Workers: 2, Sharded: true, SpeedupVs1: speedup},
+				},
+			}},
+		}},
+		Multi: []MultiResult{{
+			Name: "workspace-4q",
+			Scaling: []MultiScalingResult{
+				{Workers: 1, SpeedupVs1: 1, MatchesWorkers1: true},
+				{Workers: 2, SpeedupVs1: speedup, MatchesWorkers1: true},
+			},
+		}},
+		Large: []LargeResult{{
+			Name: "large-zipf-k64",
+			Runs: []LargeWorkerRun{
+				{Workers: 1, SpeedupVs1: 1, MatchesWorkers1: true},
+				{Workers: 2, SpeedupVs1: speedup, MatchesWorkers1: true},
+			},
+		}},
+	}
+}
+
+func TestSpeedupSummaryNoticesUnderThreshold(t *testing.T) {
+	lines, notices := SpeedupSummary(speedupReport(4, 1.05), SpeedupOptions{MinAtTwo: 1.2})
+	if len(notices) != 3 {
+		t.Fatalf("got %d notices, want one per phase family: %v", len(notices), notices)
+	}
+	for _, want := range []string{"star/core", "multi/workspace-4q", "large/large-zipf-k64"} {
+		found := false
+		for _, n := range notices {
+			if strings.Contains(n, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no notice for %s: %v", want, notices)
+		}
+	}
+	// The large tier's runs also appear in the summary lines.
+	found := false
+	for _, l := range lines {
+		if strings.Contains(l, "large/large-zipf-k64 workers=2") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("large tier missing from summary lines: %v", lines)
+	}
+}
+
+func TestSpeedupSummaryPassesAboveThreshold(t *testing.T) {
+	_, notices := SpeedupSummary(speedupReport(4, 1.6), SpeedupOptions{MinAtTwo: 1.2})
+	if len(notices) != 0 {
+		t.Fatalf("scaling above threshold noticed: %v", notices)
+	}
+}
+
+// TestSpeedupSummarySingleCPUSuppressed pins the property the CI gate
+// relies on: a 1-core machine physically cannot scale, so the summary
+// suppresses every notice and `bench -speedup -gate` passes there
+// instead of failing spuriously.
+func TestSpeedupSummarySingleCPUSuppressed(t *testing.T) {
+	lines, notices := SpeedupSummary(speedupReport(1, 0.9), SpeedupOptions{MinAtTwo: 1.2})
+	if len(notices) != 0 {
+		t.Fatalf("single-CPU notices not suppressed: %v", notices)
+	}
+	found := false
+	for _, l := range lines {
+		if strings.Contains(l, "single-CPU") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no single-CPU explanation line: %v", lines)
+	}
+}
+
+// TestSpeedupSummaryFlagsDivergence: a diverging run is named in the
+// summary lines even though divergence is gated elsewhere (bench -large
+// fails the run; the compare gate never sees it).
+func TestSpeedupSummaryFlagsDivergence(t *testing.T) {
+	rep := speedupReport(4, 1.6)
+	rep.Large[0].Runs[1].MatchesWorkers1 = false
+	lines, _ := SpeedupSummary(rep, SpeedupOptions{})
+	found := false
+	for _, l := range lines {
+		if strings.Contains(l, "DIVERGES FROM workers=1") && strings.Contains(l, "large/") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("diverging large run not called out: %v", lines)
+	}
+}

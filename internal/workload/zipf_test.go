@@ -1,0 +1,149 @@
+package workload
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"dyncq/internal/dyndb"
+)
+
+// checkWellFormed replays a stream against a fresh database and fails on
+// any ill-formed command: arity mismatch, duplicate insert, or deletion
+// of an absent tuple — the generator's contract.
+func checkWellFormed(t *testing.T, schema map[string]int, stream []dyndb.Update) {
+	t.Helper()
+	db := dyndb.New()
+	for i, u := range stream {
+		if want, ok := schema[u.Rel]; !ok || want != len(u.Tuple) {
+			t.Fatalf("update %d: %s outside schema %v", i, u, schema)
+		}
+		changed, err := db.Apply(u)
+		if err != nil {
+			t.Fatalf("update %d: %s: %v", i, u, err)
+		}
+		if !changed {
+			t.Fatalf("update %d: %s is a no-op (duplicate insert or absent delete)", i, u)
+		}
+	}
+}
+
+func TestZipfStreamWellFormedAndDeterministic(t *testing.T) {
+	schema := map[string]int{"E": 2, "T": 1}
+	cfg := TortureConfig{Seed: 7, Domain: 50, Updates: 2000, PDelete: 0.4, ZipfS: 1.5, ZipfV: 1}
+	s1 := cfg.Stream(schema)
+	s2 := cfg.Stream(schema)
+	if len(s1) == 0 {
+		t.Fatal("empty stream")
+	}
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatal("stream is not deterministic in its config")
+	}
+	checkWellFormed(t, schema, s1)
+	other := TortureConfig{Seed: 8, Domain: 50, Updates: 2000, PDelete: 0.4, ZipfS: 1.5, ZipfV: 1}.Stream(schema)
+	if reflect.DeepEqual(s1, other) {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestZipfStreamIsSkewed(t *testing.T) {
+	schema := map[string]int{"E": 2}
+	cfg := TortureConfig{Seed: 1, Domain: 10000, Updates: 4000, ZipfS: 2.0, ZipfV: 1}
+	counts := map[dyndb.Value]int{}
+	total := 0
+	for _, u := range cfg.Stream(schema) {
+		for _, v := range u.Tuple {
+			counts[v]++
+			total++
+		}
+	}
+	// Under s=2 the hottest value (rank 0 → value 1) should dominate —
+	// a uniform draw over 10k values would give it ~0.01% of the mass,
+	// so even 5% is a 500× concentration (set-semantics dedup flattens
+	// the accepted distribution below the raw Zipf head).
+	if hot := counts[1]; float64(hot) < 0.05*float64(total) {
+		t.Fatalf("value 1 drawn %d/%d times; stream does not look Zipf-skewed", hot, total)
+	}
+}
+
+func TestZipfStreamSaturationTerminates(t *testing.T) {
+	// Domain 1, unary relation: exactly one possible tuple. With
+	// PDelete=0 the generator must fall back to forced deletions
+	// (insert/delete flapping on the hot tuple) instead of spinning on
+	// duplicate inserts — the stream still reaches its length and stays
+	// well-formed.
+	schema := map[string]int{"T": 1}
+	cfg := TortureConfig{Seed: 3, Domain: 1, Updates: 100, PDelete: 0}
+	s := cfg.Stream(schema)
+	if len(s) != 100 {
+		t.Fatalf("saturated stream length %d, want 100", len(s))
+	}
+	checkWellFormed(t, schema, s)
+}
+
+func TestTortureDatabaseDeterministic(t *testing.T) {
+	schema := map[string]int{"E": 2, "S": 1}
+	cfg := TortureConfig{Seed: 11, Domain: 200, ZipfS: 1.2, ZipfV: 2}
+	d1 := cfg.Database(schema, 500)
+	d2 := cfg.Database(schema, 500)
+	if d1.Cardinality() < 400 {
+		t.Fatalf("database cardinality %d, want ≈500", d1.Cardinality())
+	}
+	if !reflect.DeepEqual(d1.Updates(), d2.Updates()) {
+		t.Fatal("database generation is not deterministic")
+	}
+}
+
+func TestChurnPlanInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	plan := ChurnPlan(rng, 8, 100, 0.5)
+	if len(plan) != 100 {
+		t.Fatalf("plan length %d, want 100", len(plan))
+	}
+	live := map[int]bool{}
+	for i, ev := range plan {
+		if ev.Unregister {
+			if !live[ev.Pool] {
+				t.Fatalf("event %d unregisters %s which is not live", i, ev.Name)
+			}
+			delete(live, ev.Pool)
+		} else {
+			if live[ev.Pool] {
+				t.Fatalf("event %d registers %s twice", i, ev.Name)
+			}
+			live[ev.Pool] = true
+		}
+		if len(live) < 1 {
+			t.Fatalf("event %d left the workspace with no live query", i)
+		}
+	}
+}
+
+// FuzzTortureConfig proves the generator's contract over arbitrary
+// configurations: after Normalize, every generated stream is well-formed
+// (valid arities, no duplicate inserts, no deletions of absent tuples)
+// and replays bit-identically from its seed. This is the reproducibility
+// guarantee the torture harness's failure-seed workflow rests on.
+func FuzzTortureConfig(f *testing.F) {
+	f.Add(int64(1), 50, 500, 0.3, 1.5, 1.0)
+	f.Add(int64(-9), 0, -3, -0.5, 0.0, -2.0)
+	f.Add(int64(42), 1, 10000, 1.5, 99.0, 0.0)
+	f.Add(int64(0), 1<<30, 1<<30, 0.999, 1.0000001, 1.0)
+	f.Fuzz(func(t *testing.T, seed int64, domain, updates int, pDelete, zipfS, zipfV float64) {
+		cfg := TortureConfig{Seed: seed, Domain: domain, Updates: updates,
+			PDelete: pDelete, ZipfS: zipfS, ZipfV: zipfV}.Normalize()
+		if cfg != cfg.Normalize() {
+			t.Fatalf("Normalize is not idempotent: %+v vs %+v", cfg, cfg.Normalize())
+		}
+		// Keep fuzz iterations fast regardless of the requested length.
+		if cfg.Updates > 2000 {
+			cfg.Updates = 2000
+		}
+		schema := map[string]int{"E": 2, "T": 1}
+		s1 := cfg.Stream(schema)
+		checkWellFormed(t, schema, s1)
+		if s2 := cfg.Stream(schema); !reflect.DeepEqual(s1, s2) {
+			t.Fatalf("config %+v does not replay deterministically", cfg)
+		}
+	})
+}

@@ -1,0 +1,57 @@
+package dyncq
+
+import "fmt"
+
+// This file is the workspace's self-checking surface, built for the
+// torture harness (internal/torture) but useful to any operator: one
+// call that verifies the cross-layer invariants the engine's correctness
+// rests on — store bookkeeping, shared-index epoch lockstep, and index
+// content consistency. The checks are read-only and run under the read
+// lock, so they can interleave with live readers (but, like every read,
+// they serialise behind writers).
+
+// CheckInvariants verifies the workspace's internal invariants against
+// its current committed state and returns the first violation found:
+//
+//   - the shared store's cardinality equals the sum of its relations'
+//     sizes (shard bookkeeping);
+//   - the shared index set (when an IVM query is registered) is in epoch
+//     lockstep with the store — every mutation was reported, so no
+//     silent drop-and-rebuild is pending;
+//   - every built index passes eval.IndexSet.SanityCheck: bucket
+//     position maps exact, no stale tuples, per-relation counts equal
+//     the store's.
+//
+// A healthy workspace — one whose every mutation went through the update
+// pipeline — passes at any point between commits. The call is
+// read-locked and safe for concurrent use.
+func (w *Workspace) CheckInvariants() error {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	total := 0
+	for _, rel := range w.store.Relations() {
+		total += w.store.Relation(rel).Len()
+	}
+	if total != w.store.Cardinality() {
+		return fmt.Errorf("dyncq: store cardinality %d, but relations hold %d tuples", w.store.Cardinality(), total)
+	}
+	if w.idx != nil {
+		if !w.idx.Synced() {
+			return fmt.Errorf("dyncq: shared index set at epoch %d, store at epoch %d — a mutation bypassed the pipeline",
+				w.idx.Epoch(), w.store.Epoch())
+		}
+		if err := w.idx.SanityCheck(); err != nil {
+			return fmt.Errorf("dyncq: shared index set: %w", err)
+		}
+	}
+	return nil
+}
+
+// StoreEpoch returns the shared store's epoch counter (advanced by every
+// mutation and Clear) — the number the shared index set's lockstep is
+// checked against.
+func (w *Workspace) StoreEpoch() uint64 {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.store.Epoch()
+}

@@ -1,0 +1,64 @@
+package dyncq
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckInvariantsHealthyWorkspace(t *testing.T) {
+	ws := NewWorkspace(WorkspaceOptions{})
+	if _, err := ws.Register("core", "Q(y) :- E(x,y), T(y)"); err != nil {
+		t.Fatal(err)
+	}
+	// An IVM query so the shared index set exists and the epoch-lockstep
+	// check has something to verify.
+	if _, err := ws.Register("hard", "Q(x,y) :- S(x), E(x,y), T(y)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.CheckInvariants(); err != nil {
+		t.Fatalf("fresh workspace: %v", err)
+	}
+	updates := []Update{
+		Insert("E", 1, 2), Insert("E", 2, 3), Insert("T", 2), Insert("S", 1),
+		Delete("E", 1, 2), Insert("E", 1, 2),
+	}
+	for _, u := range updates {
+		if _, err := ws.Apply(u); err != nil {
+			t.Fatal(err)
+		}
+		if err := ws.CheckInvariants(); err != nil {
+			t.Fatalf("after %s: %v", u, err)
+		}
+	}
+	// Force index builds by reading the IVM query, then re-check.
+	ws.Handle("hard").Count()
+	if _, err := ws.ApplyBatch([]Update{Insert("E", 5, 6), Insert("T", 6), Delete("S", 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.CheckInvariants(); err != nil {
+		t.Fatalf("after batch: %v", err)
+	}
+}
+
+func TestCheckInvariantsDetectsBypassedMutation(t *testing.T) {
+	ws := NewWorkspace(WorkspaceOptions{})
+	if _, err := ws.Register("hard", "Q(x,y) :- S(x), E(x,y), T(y)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ws.Insert("E", 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	before := ws.StoreEpoch()
+	// Mutate the shared store directly, bypassing the update pipeline —
+	// exactly the silent movement the epoch lockstep is there to catch.
+	if _, err := ws.store.Insert("E", 9, 9); err != nil {
+		t.Fatal(err)
+	}
+	if ws.StoreEpoch() == before {
+		t.Fatal("direct store mutation did not advance the epoch")
+	}
+	err := ws.CheckInvariants()
+	if err == nil || !strings.Contains(err.Error(), "epoch") {
+		t.Fatalf("CheckInvariants = %v, want epoch-lockstep violation", err)
+	}
+}
