@@ -1,0 +1,143 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// buildLint builds the dyncq-lint binary once per test run into a shared
+// temp dir and returns its path.
+func buildLint(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "dyncq-lint")
+	if runtime.GOOS == "windows" {
+		bin += ".exe"
+	}
+	cmd := exec.Command("go", "build", "-o", bin, "dyncq/cmd/dyncq-lint")
+	cmd.Dir = repoRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build dyncq-lint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// repoRoot locates the module root (the directory holding go.mod) from
+// the test's working directory, cmd/dyncq-lint.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for dir := wd; ; dir = filepath.Dir(dir) {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		if filepath.Dir(dir) == dir {
+			t.Fatalf("no go.mod above %s", wd)
+		}
+	}
+}
+
+// seedModule writes a throwaway module with one deliberate determinism
+// violation in a package path the analyzer scopes to, plus an allowed
+// twin, and returns the module directory. The module vendors nothing and
+// imports only the stdlib, so `go vet` works offline.
+func seedModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module dyncq\n\ngo 1.24\n",
+		"internal/core/bad.go": `package core
+
+import "time"
+
+// Stamp is the seeded violation: wall-clock reads are forbidden in core.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Allowed shows a justified suppression passing through untouched.
+func Allowed() int64 {
+	return time.Now().UnixNano() //dyncq:allow determinism fixture: exercising the suppression path
+}
+`,
+	}
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// runLint runs the built binary in dir with args, returning the combined
+// stdout/stderr and the exit code.
+func runLint(t *testing.T, bin, dir string, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("running %s: %v\n%s", bin, err, out)
+		}
+		code = ee.ExitCode()
+	}
+	return string(out), code
+}
+
+// TestSeededViolationFailsVet is the acceptance demonstration: a CI run
+// over a module containing a determinism violation must fail with a
+// finding naming the analyzer, and the justified allow must not fire.
+func TestSeededViolationFailsVet(t *testing.T) {
+	bin := buildLint(t)
+	mod := seedModule(t)
+	out, code := runLint(t, bin, mod, "./...")
+	if code == 0 {
+		t.Fatalf("expected non-zero exit on seeded violation, got 0\n%s", out)
+	}
+	if !strings.Contains(out, "bad.go:6") || !strings.Contains(out, "deterministic engine package") {
+		t.Fatalf("expected a determinism finding at bad.go:6, got:\n%s", out)
+	}
+	if strings.Count(out, "time.Now") != 1 {
+		t.Fatalf("expected exactly one time.Now finding (the allow must suppress the second), got:\n%s", out)
+	}
+}
+
+// TestGithubModeAnnotates checks -github rewrites findings into GitHub
+// Actions workflow commands on stdout.
+func TestGithubModeAnnotates(t *testing.T) {
+	bin := buildLint(t)
+	mod := seedModule(t)
+	out, code := runLint(t, bin, mod, "-github", "./...")
+	if code == 0 {
+		t.Fatalf("expected non-zero exit, got 0\n%s", out)
+	}
+	if !strings.Contains(out, "::error file=") || !strings.Contains(out, "line=6") {
+		t.Fatalf("expected a ::error annotation for line 6, got:\n%s", out)
+	}
+}
+
+// TestRepoIsClean runs the suite over this repository itself: after the
+// burn-down, dyncq-lint ./... must exit 0. Skipped in -short mode (it
+// type-checks the whole module).
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-repo vet run")
+	}
+	bin := buildLint(t)
+	out, code := runLint(t, bin, repoRoot(t), "./...")
+	if code != 0 {
+		t.Fatalf("dyncq-lint found issues in the repo (exit %d):\n%s", code, out)
+	}
+}

@@ -1,0 +1,104 @@
+package analysis_test
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dyncq/internal/analysis"
+	"dyncq/internal/analysis/directive"
+)
+
+// TestAllowInventory walks every Go file in the repository and audits
+// the //dyncq:allow directives: each one must name a registered analyzer
+// and carry a justification. A reason-less allow would not suppress
+// anything (directive.Index.Allowed requires a reason), so without this
+// meta-test it would silently rot as a comment that looks like a
+// suppression but isn't.
+//
+// Analyzer fixtures under testdata/ are skipped: they are synthetic
+// inputs, and negative fixtures may deliberately contain malformed
+// allows.
+func TestAllowInventory(t *testing.T) {
+	root := moduleRoot(t)
+	var total int
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case "vendor", "testdata", ".git":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return err
+		}
+		rel, _ := filepath.Rel(root, path)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				a, ok := directive.ParseAllow(c.Text)
+				if !ok {
+					continue
+				}
+				total++
+				line := fset.Position(c.Pos()).Line
+				if a.Analyzer == "" {
+					t.Errorf("%s:%d: //dyncq:allow without an analyzer name", rel, line)
+					continue
+				}
+				if !analysis.Names()[a.Analyzer] {
+					t.Errorf("%s:%d: //dyncq:allow names unknown analyzer %q (known: %s)",
+						rel, line, a.Analyzer, strings.Join(analyzerNames(), ", "))
+				}
+				if a.Reason == "" {
+					t.Errorf("%s:%d: //dyncq:allow %s without a reason — reason-less allows suppress nothing",
+						rel, line, a.Analyzer)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total == 0 {
+		t.Fatal("inventory found no //dyncq:allow directives; the walk is likely broken (the engine packages contain audited allows)")
+	}
+	t.Logf("audited %d //dyncq:allow directives", total)
+}
+
+func analyzerNames() []string {
+	var names []string
+	for _, a := range analysis.Analyzers() {
+		names = append(names, a.Name)
+	}
+	return names
+}
+
+// moduleRoot walks up from the test's directory to the go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for dir := wd; ; dir = filepath.Dir(dir) {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		if filepath.Dir(dir) == dir {
+			t.Fatalf("no go.mod above %s", wd)
+		}
+	}
+}

@@ -1,0 +1,246 @@
+// Package atest is a small offline analyzer test harness in the style
+// of golang.org/x/tools/go/analysis/analysistest (which the vendored
+// x/tools subset does not include). It loads a fixture package from
+// <testdata>/src/<importpath>, typechecks it against the standard
+// library via the source importer (no module downloads, no export
+// data), runs the analyzer and its Requires chain in-process, and
+// matches reported diagnostics against "// want" comments:
+//
+//	d.mu.Lock() // want `re-acquiring`
+//
+// Each want comment carries one or more double- or back-quoted regular
+// expressions matched against diagnostics on the comment's line.
+// Unmatched expectations and unexpected diagnostics both fail the
+// test. Fixture packages may import sibling fixture packages by their
+// full fixture import path.
+package atest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Run loads the fixture package at dir/src/<importPath>, applies the
+// analyzer, and checks its diagnostics against the fixture's want
+// comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, importPath string) {
+	t.Helper()
+	ld := newLoader(dir)
+	pkg, err := ld.load(importPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", importPath, err)
+	}
+	diags, err := runAnalyzer(a, ld.fset, pkg)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, importPath, err)
+	}
+	checkWants(t, ld.fset, pkg.files, diags)
+}
+
+// loadedPkg is one typechecked fixture package.
+type loadedPkg struct {
+	pkg   *types.Package
+	info  *types.Info
+	files []*ast.File
+}
+
+type loader struct {
+	dir    string // testdata root
+	fset   *token.FileSet
+	std    types.Importer
+	loaded map[string]*loadedPkg
+}
+
+func newLoader(dir string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		dir:    dir,
+		fset:   fset,
+		std:    importer.ForCompiler(fset, "source", nil),
+		loaded: make(map[string]*loadedPkg),
+	}
+}
+
+// Import implements types.Importer: fixture-local packages win over
+// everything else; the rest (stdlib) goes to the source importer.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if fi, err := os.Stat(ld.srcDir(path)); err == nil && fi.IsDir() {
+		p, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.pkg, nil
+	}
+	return ld.std.Import(path)
+}
+
+func (ld *loader) srcDir(importPath string) string {
+	return filepath.Join(ld.dir, "src", filepath.FromSlash(importPath))
+}
+
+func (ld *loader) load(importPath string) (*loadedPkg, error) {
+	if p, ok := ld.loaded[importPath]; ok {
+		return p, nil
+	}
+	dir := ld.srcDir(importPath)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{Importer: ld}
+	pkg, err := conf.Check(importPath, ld.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	p := &loadedPkg{pkg: pkg, info: info, files: files}
+	ld.loaded[importPath] = p
+	return p, nil
+}
+
+// runAnalyzer executes the analyzer's Requires chain and then the
+// analyzer itself over the loaded package, collecting diagnostics.
+func runAnalyzer(a *analysis.Analyzer, fset *token.FileSet, pkg *loadedPkg) ([]analysis.Diagnostic, error) {
+	var diags []analysis.Diagnostic
+	results := make(map[*analysis.Analyzer]any)
+	var run func(a *analysis.Analyzer, collect bool) error
+	run = func(a *analysis.Analyzer, collect bool) error {
+		if _, done := results[a]; done && !collect {
+			return nil
+		}
+		for _, dep := range a.Requires {
+			if err := run(dep, false); err != nil {
+				return err
+			}
+		}
+		pass := &analysis.Pass{
+			Analyzer:   a,
+			Fset:       fset,
+			Files:      pkg.files,
+			Pkg:        pkg.pkg,
+			TypesInfo:  pkg.info,
+			TypesSizes: types.SizesFor("gc", "amd64"),
+			ResultOf:   results,
+			ReadFile:   os.ReadFile,
+			Report: func(d analysis.Diagnostic) {
+				if collect {
+					diags = append(diags, d)
+				}
+			},
+		}
+		res, err := a.Run(pass)
+		if err != nil {
+			return fmt.Errorf("%s: %w", a.Name, err)
+		}
+		results[a] = res
+		return nil
+	}
+	if err := run(a, true); err != nil {
+		return nil, err
+	}
+	return diags, nil
+}
+
+// expectation is one want regexp at a file:line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	text string
+	met  bool
+}
+
+var wantRe = regexp.MustCompile("(?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`)")
+
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				i := strings.Index(text, "// want ")
+				if i < 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, q := range wantRe.FindAllString(text[i+len("// want "):], -1) {
+					var pat string
+					if q[0] == '`' {
+						pat = q[1 : len(q)-1]
+					} else {
+						var err error
+						pat, err = strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want string %s: %v", pos.Filename, pos.Line, q, err)
+						}
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, text: pat})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.met && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.text)
+		}
+	}
+}

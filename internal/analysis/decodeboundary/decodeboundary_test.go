@@ -1,0 +1,16 @@
+package decodeboundary_test
+
+import (
+	"testing"
+
+	"dyncq/internal/analysis/atest"
+	"dyncq/internal/analysis/decodeboundary"
+)
+
+func TestInteriorPackage(t *testing.T) {
+	atest.Run(t, "testdata", decodeboundary.Analyzer, "dyncq/internal/ivm")
+}
+
+func TestBoundaryPackageIsClean(t *testing.T) {
+	atest.Run(t, "testdata", decodeboundary.Analyzer, "example.com/display")
+}

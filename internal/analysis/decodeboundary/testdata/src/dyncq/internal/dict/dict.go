@@ -1,0 +1,28 @@
+// Dependency fixture mirroring the real dict API surface.
+package dict
+
+type Dict struct {
+	names []string
+}
+
+func (d *Dict) Encode(name string) int64 {
+	d.names = append(d.names, name)
+	return int64(len(d.names))
+}
+
+func (d *Dict) Decode(code int64) string { return d.names[code-1] }
+
+func (d *Dict) TryDecode(code int64) (string, bool) {
+	if code < 1 || int(code) > len(d.names) {
+		return "", false
+	}
+	return d.names[code-1], true
+}
+
+func (d *Dict) DecodeAll(codes []int64) []string {
+	out := make([]string, len(codes))
+	for i, c := range codes {
+		out[i] = d.Decode(c)
+	}
+	return out
+}

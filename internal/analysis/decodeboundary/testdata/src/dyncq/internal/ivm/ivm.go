@@ -1,0 +1,53 @@
+// Positive/negative fixture: decode calls inside a hot-path package
+// are flagged except inside the Enumerate/Tuples boundary functions or
+// under an explicit allow.
+package ivm
+
+import (
+	"dyncq/internal/dict"
+	"dyncq/internal/tuplekey"
+)
+
+type store struct {
+	d    *dict.Dict
+	keys []string
+}
+
+func (s *store) hotLookup(k string) []int64 {
+	return tuplekey.Decode(k) // want `interned handles must stay interned`
+}
+
+func (s *store) display(code int64) string {
+	return s.d.Decode(code) // want `interned handles must stay interned`
+}
+
+func (s *store) displayAll(codes []int64) []string {
+	return s.d.DecodeAll(codes) // want `interned handles must stay interned`
+}
+
+// Enumerate is the enumeration boundary: it hands each decoded tuple
+// to the caller exactly once per delivered result.
+func (s *store) Enumerate(yield func([]int64) bool) {
+	for _, k := range s.keys {
+		if !yield(tuplekey.Decode(k)) {
+			return
+		}
+	}
+}
+
+// Tuples is the other boundary entry point.
+func (s *store) Tuples() [][]int64 {
+	out := make([][]int64, 0, len(s.keys))
+	for _, k := range s.keys {
+		out = append(out, tuplekey.Decode(k))
+	}
+	return out
+}
+
+func (s *store) errPath(code int64) (string, bool) {
+	return s.d.TryDecode(code) //dyncq:allow decodeboundary one-shot display of the offending tuple on a cold error path
+}
+
+func (s *store) encodeFine(name string) int64 {
+	return s.d.Encode(name)
+}

@@ -1,0 +1,14 @@
+// Dependency fixture mirroring the real tuplekey Decode.
+package tuplekey
+
+func Decode(k string) []int64 {
+	out := make([]int64, 0, len(k)/8)
+	for i := 0; i+8 <= len(k); i += 8 {
+		var v int64
+		for j := 7; j >= 0; j-- {
+			v = v<<8 | int64(k[i+j])
+		}
+		out = append(out, v)
+	}
+	return out
+}

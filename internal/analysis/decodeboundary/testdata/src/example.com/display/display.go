@@ -1,0 +1,15 @@
+// Negative fixture: packages outside the engine interior (cmd/, bench
+// display) are the decode boundary and decode freely.
+package display
+
+import "dyncq/internal/dict"
+
+func Format(d *dict.Dict, codes []int64) []string {
+	out := make([]string, 0, len(codes))
+	for _, c := range codes {
+		if name, ok := d.TryDecode(c); ok {
+			out = append(out, name)
+		}
+	}
+	return out
+}

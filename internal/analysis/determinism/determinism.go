@@ -1,0 +1,127 @@
+// Package determinism implements the dyncq-lint pass that keeps the
+// engine packages a pure function of their inputs. The torture oracle
+// replays every scenario from a seed and the core engine's enumeration
+// is order-sensitive, so wall-clock reads, global (unseeded) math/rand
+// calls, and map-iteration order must never influence results inside
+// internal/core, internal/eval, or internal/dyndb. Map ranges whose
+// output is provably order-insensitive (sorted afterwards, commutative
+// folds) carry a //dyncq:allow determinism comment explaining why.
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"dyncq/internal/analysis/directive"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "determinism",
+	Doc:      "forbid wall-clock reads, global math/rand, and map-order-dependent iteration in the deterministic engine packages",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+// scopedPackages are the packages whose behaviour must be a pure
+// function of inputs (plus any explicit seed threaded through APIs).
+var scopedPackages = map[string]bool{
+	"dyncq/internal/core":  true,
+	"dyncq/internal/eval":  true,
+	"dyncq/internal/dyndb": true,
+}
+
+// forbiddenTimeFuncs are the time package functions that read the wall
+// clock. time.Sleep is left to lockorder (it is a blocking concern, not
+// a determinism one).
+var forbiddenTimeFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+// randConstructors are the math/rand[/v2] package-level functions that
+// build an explicitly seeded source; everything else at package level
+// draws from the shared global source and is forbidden. Methods on
+// *rand.Rand are always fine — constructing one forces a seed choice.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !scopedPackages[pass.Pkg.Path()] {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	allows := directive.NewIndex(pass.Fset, pass.Files)
+
+	inTest := func(n ast.Node) bool {
+		return strings.HasSuffix(pass.Fset.Position(n.Pos()).Filename, "_test.go")
+	}
+
+	nodeFilter := []ast.Node{(*ast.CallExpr)(nil), (*ast.RangeStmt)(nil)}
+	ins.Preorder(nodeFilter, func(n ast.Node) {
+		if inTest(n) {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			fn := calleeFunc(pass, n)
+			if fn == nil || fn.Pkg() == nil {
+				return
+			}
+			// Only package-level functions matter here; methods on
+			// *rand.Rand or time.Time values are fine.
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if forbiddenTimeFuncs[fn.Name()] {
+					allows.Report(pass, n.Pos(),
+						"call to time.%s in deterministic engine package %s: results must be a pure function of inputs",
+						fn.Name(), pass.Pkg.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !randConstructors[fn.Name()] {
+					allows.Report(pass, n.Pos(),
+						"call to global (unseeded) %s.%s in deterministic engine package %s: use an explicitly seeded *rand.Rand",
+						fn.Pkg().Name(), fn.Name(), pass.Pkg.Name())
+				}
+			}
+		case *ast.RangeStmt:
+			tv, ok := pass.TypesInfo.Types[n.X]
+			if !ok {
+				return
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				allows.Report(pass, n.Pos(),
+					"range over map in deterministic engine package %s: iteration order is nondeterministic; sort, or justify with //dyncq:allow determinism <reason>",
+					pass.Pkg.Name())
+			}
+		}
+	})
+	return nil, nil
+}
+
+// calleeFunc resolves the called function object of a call expression,
+// or nil for dynamic calls, conversions, and builtins.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

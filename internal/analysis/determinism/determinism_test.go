@@ -1,0 +1,16 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"dyncq/internal/analysis/atest"
+	"dyncq/internal/analysis/determinism"
+)
+
+func TestScopedPackage(t *testing.T) {
+	atest.Run(t, "testdata", determinism.Analyzer, "dyncq/internal/core")
+}
+
+func TestOutOfScopePackageIsClean(t *testing.T) {
+	atest.Run(t, "testdata", determinism.Analyzer, "example.com/outside")
+}

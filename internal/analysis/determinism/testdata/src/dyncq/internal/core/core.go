@@ -1,0 +1,56 @@
+// Positive fixture: nondeterminism sources inside a scoped engine
+// package, plus the seeded and allow-annotated forms that stay clean.
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func nowBad() int64 {
+	return time.Now().UnixNano() // want `time\.Now`
+}
+
+func sinceBad(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since`
+}
+
+func randBad() int {
+	return rand.Intn(10) // want `unseeded`
+}
+
+func shuffleBad(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `unseeded`
+}
+
+func randSeeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+func mapRangeBad(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m { // want `range over map`
+		out = append(out, k)
+	}
+	return out
+}
+
+func mapRangeSortedAfter(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	//dyncq:allow determinism keys are sorted before use, iteration order cannot leak
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sliceRangeFine(xs []int) int {
+	n := 0
+	for _, v := range xs {
+		n += v
+	}
+	return n
+}

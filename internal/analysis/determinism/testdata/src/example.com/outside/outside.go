@@ -1,0 +1,25 @@
+// Negative fixture: the same patterns outside the scoped engine
+// packages are none of this analyzer's business (benches and the CLI
+// read clocks legitimately).
+package outside
+
+import (
+	"math/rand"
+	"time"
+)
+
+func now() int64 {
+	return time.Now().UnixNano()
+}
+
+func roll() int {
+	return rand.Intn(6)
+}
+
+func keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,30 @@
+package directive
+
+import "testing"
+
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		text     string
+		ok       bool
+		analyzer string
+		reason   string
+	}{
+		{"//dyncq:allow hotalloc amortised growth", true, "hotalloc", "amortised growth"},
+		{"//dyncq:allow lockorder", true, "lockorder", ""},
+		{"//dyncq:allow", true, "", ""},
+		{"//dyncq:allow   determinism   spaced   reason  ", true, "determinism", "spaced   reason"},
+		{"//dyncq:allowance hotalloc nope", false, "", ""},
+		{"// dyncq:allow hotalloc spaced prefix is not a directive", false, "", ""},
+		{"//dyncq:hot", false, "", ""},
+	}
+	for _, c := range cases {
+		a, ok := ParseAllow(c.text)
+		if ok != c.ok {
+			t.Errorf("ParseAllow(%q) ok = %v, want %v", c.text, ok, c.ok)
+			continue
+		}
+		if a.Analyzer != c.analyzer || a.Reason != c.reason {
+			t.Errorf("ParseAllow(%q) = (%q, %q), want (%q, %q)", c.text, a.Analyzer, a.Reason, c.analyzer, c.reason)
+		}
+	}
+}

@@ -1,0 +1,25 @@
+// Dependency fixture mirroring the real tuplekey.Map shape: the
+// analyzer identifies relation shard maps by this type.
+package tuplekey
+
+type Map[V any] struct {
+	m map[string]V
+}
+
+func NewMap[V any](size int) *Map[V] {
+	return &Map[V]{m: make(map[string]V, size)}
+}
+
+func (m *Map[V]) Put(k []int64, v V)      { m.m[key(k)] = v }
+func (m *Map[V]) Delete(k []int64) bool   { _, ok := m.m[key(k)]; delete(m.m, key(k)); return ok }
+func (m *Map[V]) Get(k []int64) (V, bool) { v, ok := m.m[key(k)]; return v, ok }
+
+func key(k []int64) string {
+	b := make([]byte, 0, len(k)*8)
+	for _, v := range k {
+		for i := 0; i < 8; i++ {
+			b = append(b, byte(v>>(8*i)))
+		}
+	}
+	return string(b)
+}

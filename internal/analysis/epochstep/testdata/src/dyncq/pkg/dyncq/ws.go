@@ -1,0 +1,33 @@
+// Fixture for the shared-store half of epochstep: engine code holding
+// the workspace's store must not call per-tuple mutators directly.
+package dyncq
+
+import "dyncq/internal/dyndb"
+
+type workspace struct {
+	store *dyndb.Database
+}
+
+func (w *workspace) applyDirect(u dyndb.Update) error {
+	_, err := w.store.Insert(u.Rel, u.Tuple...) // want `direct store mutation`
+	return err
+}
+
+func (w *workspace) applySingle(u dyndb.Update) error {
+	_, err := w.store.Apply(u) // want `direct store mutation`
+	return err
+}
+
+func (w *workspace) applyBatch(us []dyndb.Update) error {
+	return w.store.ApplyNetDelta(us, 1)
+}
+
+func (w *workspace) load(src *dyndb.Database) error {
+	w.store.Clear()
+	return w.store.CopyFrom(src)
+}
+
+func (w *workspace) applyAllowed(u dyndb.Update) error {
+	_, err := w.store.Apply(u) //dyncq:allow epochstep single-update fast path, index maintenance applied in lockstep by the caller
+	return err
+}

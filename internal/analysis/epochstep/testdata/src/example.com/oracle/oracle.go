@@ -1,0 +1,18 @@
+// Negative fixture: code outside the shared-store packages (oracles,
+// benches, cmd/) may use the per-tuple mutators on private databases.
+package oracle
+
+import "dyncq/internal/dyndb"
+
+type oracle struct {
+	db *dyndb.Database
+}
+
+func (o *oracle) replay(us []dyndb.Update) error {
+	for _, u := range us {
+		if _, err := o.db.Apply(u); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"dyncq/internal/analysis/atest"
+	"dyncq/internal/analysis/hotalloc"
+)
+
+func TestHotFunctions(t *testing.T) {
+	atest.Run(t, "testdata", hotalloc.Analyzer, "a")
+}
+
+func TestColdFunctionsAreClean(t *testing.T) {
+	atest.Run(t, "testdata", hotalloc.Analyzer, "b")
+}

@@ -1,0 +1,21 @@
+// Negative fixture: un-annotated functions may allocate freely — the
+// analyzer audits only the declared hot path.
+package b
+
+import "fmt"
+
+func coldSprintf(n int) string {
+	return fmt.Sprintf("%d", n)
+}
+
+func coldConcat(a, b string) string {
+	return a + b
+}
+
+func coldAppend(dst []int, v int) []int {
+	return append(dst, v)
+}
+
+func coldBox(v int64) any {
+	return v
+}

@@ -1,0 +1,20 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"dyncq/internal/analysis/atest"
+	"dyncq/internal/analysis/lockorder"
+)
+
+func TestPositive(t *testing.T) {
+	atest.Run(t, "testdata", lockorder.Analyzer, "a")
+}
+
+func TestNegative(t *testing.T) {
+	atest.Run(t, "testdata", lockorder.Analyzer, "b")
+}
+
+func TestRankedAndReentry(t *testing.T) {
+	atest.Run(t, "testdata", lockorder.Analyzer, "dyncq/pkg/dyncq")
+}

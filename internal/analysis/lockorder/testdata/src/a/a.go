@@ -1,0 +1,65 @@
+// Positive fixture: the generic lockorder violations — re-acquisition,
+// undeclared lock pairs, and blocking operations under a held lock.
+package a
+
+import (
+	"sync"
+	"time"
+)
+
+type box struct {
+	mu    sync.Mutex
+	other sync.Mutex
+	ch    chan int
+	n     int
+}
+
+func (b *box) reacquire() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.mu.Lock() // want `re-acquiring b\.mu`
+}
+
+func (b *box) undeclaredPair() {
+	b.mu.Lock()
+	b.other.Lock() // want `no declared acquisition order`
+	b.other.Unlock()
+	b.mu.Unlock()
+}
+
+func (b *box) blockUnderLock() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ch <- 1                    // want `channel send`
+	<-b.ch                       // want `channel receive`
+	time.Sleep(time.Millisecond) // want `time\.Sleep`
+}
+
+func (b *box) waitUnderLock(wg *sync.WaitGroup) {
+	b.mu.Lock()
+	wg.Wait() // want `wg\.Wait`
+	b.mu.Unlock()
+}
+
+func (b *box) callbackUnderLock(f func()) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	f() // want `function value`
+}
+
+func (b *box) selectUnderLock() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select { // want `select without default`
+	case v := <-b.ch:
+		_ = v
+	}
+}
+
+func (b *box) rangeChanUnderLock() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for v := range b.ch { // want `range over channel`
+		_ = v
+	}
+}

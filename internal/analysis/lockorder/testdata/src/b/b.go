@@ -1,0 +1,52 @@
+// Negative fixture: lock usage the analyzer must leave alone —
+// release-before-block, unexported calls under a lock, non-blocking
+// select, goroutine bodies, and callbacks invoked after unlocking.
+package b
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	ch chan int
+	n  int
+}
+
+func (b *box) plain() {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+	b.ch <- 1 // released before the send: fine
+}
+
+func (b *box) deferUnlock() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.snapshot() // unexported helper: no public re-entry
+}
+
+func (b *box) snapshot() int { return b.n }
+
+func (b *box) nonBlockingSelect() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select {
+	case v := <-b.ch:
+		b.n = v
+	default:
+	}
+}
+
+func (b *box) spawn() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	go func() {
+		b.ch <- 1 // runs on its own goroutine without our lock
+	}()
+}
+
+func (b *box) callbackAfterUnlock(f func()) {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+	f()
+}

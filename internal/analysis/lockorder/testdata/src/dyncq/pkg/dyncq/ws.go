@@ -1,0 +1,45 @@
+// Fixture for the declared-order and public-re-entry rules: the
+// package path and type/field names match the real engine, so the rank
+// table applies.
+package dyncq
+
+import "sync"
+
+type Workspace struct {
+	mu sync.RWMutex
+	n  int
+}
+
+func (w *Workspace) Public() int {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.n
+}
+
+func (w *Workspace) reenter() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.Public() // want `re-enter the public API`
+}
+
+func (w *Workspace) allowedReenter() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.Public() //dyncq:allow lockorder Public is lock-free by construction here
+}
+
+func sameRank(a, b *Workspace) {
+	a.mu.Lock()
+	b.mu.Lock() // want `violates the declared lock order`
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func readThenWrite(w *Workspace) {
+	w.mu.RLock()
+	w.n++ // field access is fine; only calls and blocking ops are flagged
+	w.mu.RUnlock()
+	w.mu.Lock()
+	w.n++
+	w.mu.Unlock()
+}

@@ -20,7 +20,11 @@ type SpeedupOptions struct {
 // SpeedupSummary digests every parallel phase of the report into
 // summary lines and under-scaling notices. On a single-CPU machine
 // notices are suppressed (parallel speedup is physically impossible)
-// and replaced by one line saying so.
+// and replaced by one line saying so. Suppression keys on the physical
+// CPU count only: a multi-core machine whose GOMAXPROCS is capped below
+// NumCPU keeps its notices armed and earns an extra misconfiguration
+// notice instead — a capped runner must not masquerade as a 1-core box
+// and dodge the scaling gate.
 func SpeedupSummary(r Report, opt SpeedupOptions) (lines, notices []string) {
 	minAtTwo := opt.MinAtTwo
 	if minAtTwo <= 0 {
@@ -28,6 +32,12 @@ func SpeedupSummary(r Report, opt SpeedupOptions) (lines, notices []string) {
 	}
 	multiCore := r.NumCPU > 1
 	lines = append(lines, fmt.Sprintf("machine: %d CPU, GOMAXPROCS %d, %s", r.NumCPU, r.Gomaxprocs, r.GoVersion))
+	// Gomaxprocs == 0 means a report predating the field; nothing to say.
+	capped := multiCore && r.Gomaxprocs > 0 && r.Gomaxprocs < r.NumCPU
+	if capped {
+		lines = append(lines, fmt.Sprintf("GOMAXPROCS %d capped below %d CPUs: parallel phases cannot use the full machine, scaling notices stay armed", r.Gomaxprocs, r.NumCPU))
+		notices = append(notices, fmt.Sprintf("runner misconfigured: GOMAXPROCS %d on a %d-CPU machine — parallel scaling measurements are not meaningful; unset the cap or pin the job to 1 CPU", r.Gomaxprocs, r.NumCPU))
+	}
 	for _, c := range r.Cases {
 		for _, s := range c.Strategies {
 			for _, p := range s.Parallel {

@@ -93,6 +93,59 @@ func TestSpeedupSummarySingleCPUSuppressed(t *testing.T) {
 	}
 }
 
+// TestSpeedupSummaryCappedGomaxprocsNotices pins the gate-dodging fix:
+// a multi-core machine with GOMAXPROCS capped below NumCPU is a
+// misconfigured runner, not a 1-core box — the summary must keep the
+// per-measurement notices armed AND add a misconfiguration notice, even
+// when every measurement clears the threshold.
+func TestSpeedupSummaryCappedGomaxprocsNotices(t *testing.T) {
+	rep := speedupReport(8, 1.6)
+	rep.Gomaxprocs = 1
+	lines, notices := SpeedupSummary(rep, SpeedupOptions{MinAtTwo: 1.2})
+	found := false
+	for _, n := range notices {
+		if strings.Contains(n, "GOMAXPROCS 1 on a 8-CPU machine") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no misconfiguration notice for capped GOMAXPROCS: %v", notices)
+	}
+	found = false
+	for _, l := range lines {
+		if strings.Contains(l, "capped below 8 CPUs") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no cap annotation line: %v", lines)
+	}
+}
+
+// TestSpeedupSummaryCappedKeepsThresholdNotices: under-scaling notices
+// must not be suppressed on a capped runner (the masquerade the fix
+// closes off).
+func TestSpeedupSummaryCappedKeepsThresholdNotices(t *testing.T) {
+	rep := speedupReport(8, 1.05)
+	rep.Gomaxprocs = 2
+	_, notices := SpeedupSummary(rep, SpeedupOptions{MinAtTwo: 1.2})
+	// 3 per-phase-family notices + 1 misconfiguration notice.
+	if len(notices) != 4 {
+		t.Fatalf("got %d notices, want 4 (3 under-threshold + 1 misconfiguration): %v", len(notices), notices)
+	}
+}
+
+// TestSpeedupSummaryLegacyReportNoCapNotice: reports predating the
+// Gomaxprocs field (zero value) must not earn a spurious notice.
+func TestSpeedupSummaryLegacyReportNoCapNotice(t *testing.T) {
+	rep := speedupReport(8, 1.6)
+	rep.Gomaxprocs = 0
+	_, notices := SpeedupSummary(rep, SpeedupOptions{MinAtTwo: 1.2})
+	if len(notices) != 0 {
+		t.Fatalf("legacy report earned notices: %v", notices)
+	}
+}
+
 // TestSpeedupSummaryFlagsDivergence: a diverging run is named in the
 // summary lines even though divergence is gated elsewhere (bench -large
 // fails the run; the compare gate never sees it).

@@ -26,6 +26,8 @@ import (
 // and the workspace front door). The engine version advances exactly
 // once per batch that changed anything, so outstanding iterators are
 // invalidated iff the structure moved.
+//
+//dyncq:hot
 func (e *Engine) ApplyBatch(updates []dyndb.Update) (applied int, err error) {
 	if e.extStore {
 		return 0, errSharedStore
@@ -123,6 +125,8 @@ func (e *Engine) loadBulk(db *dyndb.Database) error {
 // one inserted tuple: match the repeated-variable pattern, fetch or create
 // the items along the atom's root path, and increment their C^i_ψ. Weight
 // maintenance is deferred to buildWeights.
+//
+//dyncq:hot
 func (e *Engine) countAtom(ref atomRef, tuple []Value) {
 	c := e.comps[ref.comp]
 	a := &c.atoms[ref.atom]

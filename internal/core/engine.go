@@ -283,6 +283,8 @@ func (e *Engine) Shards() int { return e.shardCount }
 // shardOf maps a component-root value to its shard index. The value is
 // diffused with a splitmix64-style finaliser so consecutive constants
 // (the common case in generated workloads) spread across shards.
+//
+//dyncq:hot
 func (e *Engine) shardOf(v Value) uint64 {
 	if e.shardMask == 0 {
 		return 0
@@ -518,6 +520,8 @@ func (e *Engine) clearStructure() {
 
 // updateAtom is the per-atom part of the Section 6.4 update procedure,
 // run with the engine's own scratch buffers (the sequential path).
+//
+//dyncq:hot
 func (e *Engine) updateAtom(ref atomRef, tuple []Value, insert bool) {
 	c := e.comps[ref.comp]
 	e.updateAtomScratch(c, &c.atoms[ref.atom], tuple, insert, e.scratchVals, e.scratchItems)
@@ -532,6 +536,8 @@ func (e *Engine) updateAtom(ref atomRef, tuple []Value, insert bool) {
 // vals[0], so calls whose root values hash to different shards are
 // mutually independent — the property ApplyBatchParallel exploits. The
 // caller supplies the scratch buffers (parallel workers have their own).
+//
+//dyncq:hot
 func (e *Engine) updateAtomScratch(c *comp, a *catom, tuple []Value, insert bool, scratchVals []Value, scratchItems []*item) {
 	for _, eq := range a.eqChecks {
 		if tuple[eq[0]] != tuple[eq[1]] {
@@ -656,6 +662,8 @@ func listOf(sh *compShard, nd *cnode, it *item) (head, tail **item) {
 }
 
 // link appends it to the tail of its list.
+//
+//dyncq:hot
 func link(sh *compShard, nd *cnode, it *item) {
 	head, tail := listOf(sh, nd, it)
 	it.next = nil
@@ -670,6 +678,8 @@ func link(sh *compShard, nd *cnode, it *item) {
 }
 
 // unlink removes it from its list.
+//
+//dyncq:hot
 func unlink(sh *compShard, nd *cnode, it *item) {
 	head, tail := listOf(sh, nd, it)
 	if it.prev != nil {

@@ -69,6 +69,8 @@ func (s *itemSlab) reset(nodes int) {
 
 // nextStruct hands out the next item struct, growing the block list
 // exponentially up to the cap.
+//
+//dyncq:hot
 func (s *itemSlab) nextStruct() *item {
 	if len(s.blocks) == 0 || s.used == len(s.blocks[len(s.blocks)-1]) {
 		size := slabItemBlockMin
@@ -78,7 +80,7 @@ func (s *itemSlab) nextStruct() *item {
 				size = slabItemBlockMax
 			}
 		}
-		s.blocks = append(s.blocks, make([]item, size))
+		s.blocks = append(s.blocks, make([]item, size)) //dyncq:allow hotalloc exponential block growth, amortised to ~0 allocs per alloc() call
 		s.used = 0
 	}
 	b := s.blocks[len(s.blocks)-1]
@@ -89,6 +91,8 @@ func (s *itemSlab) nextStruct() *item {
 
 // u64s carves n words off the uint64 arena. The returned slice has full
 // capacity n, so later carves can never alias it through append.
+//
+//dyncq:hot
 func (s *itemSlab) u64s(n int) []uint64 {
 	if len(s.u64) < n {
 		size := slabArenaChunk
@@ -103,6 +107,8 @@ func (s *itemSlab) u64s(n int) []uint64 {
 }
 
 // ptrs carves n pointers off the pointer arena.
+//
+//dyncq:hot
 func (s *itemSlab) ptrs(n int) []*item {
 	if len(s.ptr) < n {
 		size := slabArenaChunk
@@ -117,6 +123,8 @@ func (s *itemSlab) ptrs(n int) []*item {
 }
 
 // vals carves n values off the key arena.
+//
+//dyncq:hot
 func (s *itemSlab) vals(n int) []Value {
 	if len(s.val) < n {
 		size := slabArenaChunk
@@ -135,6 +143,8 @@ func (s *itemSlab) vals(n int) []Value {
 // for the per-item heap allocations of the baseline. Recycled items are
 // fully re-zeroed; their slices are reused as-is (same node, same
 // shapes).
+//
+//dyncq:hot
 func (s *itemSlab) alloc(nd *cnode, nodeIdx int32, vals []Value, parent *item) *item {
 	if fl := s.free[nodeIdx]; len(fl) > 0 {
 		it := fl[len(fl)-1]
@@ -176,6 +186,8 @@ func (s *itemSlab) alloc(nd *cnode, nodeIdx int32, vals []Value, parent *item) *
 // recycle returns a dropped item (all counts zero: unfit, unlinked,
 // childless by invariant (a)) to its node's free list for reuse by the
 // next alloc on the same node.
+//
+//dyncq:hot
 func (s *itemSlab) recycle(nodeIdx int32, it *item) {
-	s.free[nodeIdx] = append(s.free[nodeIdx], it)
+	s.free[nodeIdx] = append(s.free[nodeIdx], it) //dyncq:allow hotalloc free-list push reuses capacity after warm-up; growth is amortised
 }

@@ -233,7 +233,7 @@ func (d *Database) EnsureRelation(name string, arity int) error {
 	for i := range shards {
 		shards[i] = tuplekey.NewMap[struct{}](0)
 	}
-	d.rels[name] = &Relation{name: name, arity: arity, shards: shards}
+	d.rels[name] = &Relation{name: name, arity: arity, shards: shards} //dyncq:allow epochstep declaring an empty relation adds no tuple or adom content, so indexes stay consistent without an epoch step
 	return nil
 }
 
@@ -243,7 +243,7 @@ func (d *Database) Relation(name string) *Relation { return d.rels[name] }
 // Relations returns the declared relation names in sorted order.
 func (d *Database) Relations() []string {
 	out := make([]string, 0, len(d.rels))
-	for n := range d.rels {
+	for n := range d.rels { //dyncq:allow determinism names are sorted before returning, iteration order cannot leak
 		out = append(out, n)
 	}
 	sort.Strings(out)
@@ -254,19 +254,21 @@ func (d *Database) Relations() []string {
 // tuple's arity if it is new. It reports whether the database changed
 // (false if the tuple was already present). An error is returned on arity
 // mismatch.
+//
+//dyncq:hot
 func (d *Database) Insert(rel string, tuple ...Value) (bool, error) {
 	if err := d.EnsureRelation(rel, len(tuple)); err != nil {
 		return false, err
 	}
 	r := d.rels[rel]
 	if r.arity != len(tuple) {
-		return false, fmt.Errorf("insert %s: tuple arity %d, relation arity %d", rel, len(tuple), r.arity)
+		return false, fmt.Errorf("insert %s: tuple arity %d, relation arity %d", rel, len(tuple), r.arity) //dyncq:allow hotalloc cold error path, never taken by validated batches
 	}
 	m := r.shard(tuple)
 	if _, ok := m.Get(tuple); ok {
 		return false, nil
 	}
-	stored := append([]Value(nil), tuple...)
+	stored := append([]Value(nil), tuple...) //dyncq:allow hotalloc audited per-tuple copy: the store must own its tuples (callers may reuse the slice)
 	m.Put(stored, struct{}{})
 	d.card++
 	d.muts++
@@ -283,13 +285,15 @@ func (d *Database) Insert(rel string, tuple ...Value) (bool, error) {
 
 // Delete removes the tuple from the relation, reporting whether the
 // database changed. Deleting from an undeclared relation is a no-op.
+//
+//dyncq:hot
 func (d *Database) Delete(rel string, tuple ...Value) (bool, error) {
 	r := d.rels[rel]
 	if r == nil {
 		return false, nil
 	}
 	if r.arity != len(tuple) {
-		return false, fmt.Errorf("delete %s: tuple arity %d, relation arity %d", rel, len(tuple), r.arity)
+		return false, fmt.Errorf("delete %s: tuple arity %d, relation arity %d", rel, len(tuple), r.arity) //dyncq:allow hotalloc cold error path, never taken by validated batches
 	}
 	if !r.shard(tuple).Delete(tuple) {
 		return false, nil
@@ -368,14 +372,16 @@ func (d *Database) CopyFrom(src *Database) error {
 // other commands of the batch (a batch that first declares a new
 // relation must use it consistently), so a returned delta applies to d
 // without errors. d is not modified.
+//
+//dyncq:hot
 func (d *Database) NetDelta(updates []Update) ([]Update, error) {
 	net := Coalesce(updates)
-	fresh := make(map[string]int) // relations the batch itself would declare
+	fresh := make(map[string]int, 4) // relations the batch itself would declare
 	out := net[:0]
 	for _, u := range net {
 		if r := d.rels[u.Rel]; r != nil {
 			if r.arity != len(u.Tuple) {
-				return nil, fmt.Errorf("%s %s: tuple arity %d, relation arity %d", u.Op, u.Rel, len(u.Tuple), r.arity)
+				return nil, fmt.Errorf("%s %s: tuple arity %d, relation arity %d", u.Op, u.Rel, len(u.Tuple), r.arity) //dyncq:allow hotalloc cold error path, never taken by validated batches
 			}
 			if (u.Op == OpInsert) != r.Has(u.Tuple) {
 				out = append(out, u)
@@ -383,7 +389,7 @@ func (d *Database) NetDelta(updates []Update) ([]Update, error) {
 			continue
 		}
 		if want, ok := fresh[u.Rel]; ok && want != len(u.Tuple) {
-			return nil, fmt.Errorf("%s %s: tuple arity %d, relation arity %d earlier in the batch", u.Op, u.Rel, len(u.Tuple), want)
+			return nil, fmt.Errorf("%s %s: tuple arity %d, relation arity %d earlier in the batch", u.Op, u.Rel, len(u.Tuple), want) //dyncq:allow hotalloc cold error path, never taken by validated batches
 		}
 		if u.Op == OpDelete {
 			continue // deleting from an undeclared relation is a no-op
@@ -413,9 +419,13 @@ func (d *Database) Apply(u Update) (bool, error) {
 // The slot table is a per-relation tuplekey.Map keyed by the tuples
 // themselves, so coalescing performs no per-command string encoding — the
 // front-door batch path moves interned values end to end.
+//
+//dyncq:hot
 func Coalesce(updates []Update) []Update {
 	if len(updates) <= 1 {
-		return append([]Update(nil), updates...)
+		out := make([]Update, len(updates))
+		copy(out, updates)
+		return out
 	}
 	slot := make(map[string]*tuplekey.Map[int], 4)
 	out := make([]Update, 0, len(updates))
@@ -486,7 +496,7 @@ func (d *Database) InActiveDomain(v Value) bool { return d.adom[d.adomShard(v)][
 func (d *Database) ActiveDomain() []Value {
 	out := make([]Value, 0, d.adomSize)
 	for _, a := range d.adom {
-		for v := range a {
+		for v := range a { //dyncq:allow determinism values are sorted before returning, iteration order cannot leak
 			out = append(out, v)
 		}
 	}
@@ -498,7 +508,7 @@ func (d *Database) ActiveDomain() []Value {
 // Section 2.
 func (d *Database) Size() int {
 	s := len(d.rels) + d.adomSize
-	for _, r := range d.rels {
+	for _, r := range d.rels { //dyncq:allow determinism commutative sum, iteration order cannot affect the total
 		s += r.arity * r.Len()
 	}
 	return s
@@ -507,7 +517,7 @@ func (d *Database) Size() int {
 // Clone returns a deep copy of the database (same shard count).
 func (d *Database) Clone() *Database {
 	c := NewSharded(d.shards)
-	for name, r := range d.rels {
+	for name, r := range d.rels { //dyncq:allow determinism set-semantics copy: the clone's content is identical under any insertion order
 		if err := c.EnsureRelation(name, r.arity); err != nil {
 			panic(err) // fresh database: cannot conflict
 		}

@@ -51,6 +51,8 @@ type relOp struct {
 // resulting state is identical to the sequential path at any worker
 // count. With workers <= 1, one shard, or a small delta it applies
 // sequentially (bit-identical to ApplyAll over the survivors).
+//
+//dyncq:hot
 func (d *Database) ApplyNetDelta(survivors []Update, workers int) int {
 	if workers <= 1 || d.shards == 1 || len(survivors) < MinParallelDelta {
 		for _, u := range survivors {
@@ -81,7 +83,7 @@ func (d *Database) ApplyNetDelta(survivors []Update, workers int) int {
 		}
 		insert := u.Op == OpInsert
 		s := updateHash(u.Rel, u.Tuple) % uint64(d.shards)
-		tupleOps[s] = append(tupleOps[s], relOp{r: r, tuple: u.Tuple, insert: insert})
+		tupleOps[s] = append(tupleOps[s], relOp{r: r, tuple: u.Tuple, insert: insert}) //dyncq:allow hotalloc per-shard bucket; growth is amortised over the batch, not per tuple
 		delta := int8(-1)
 		if insert {
 			delta = 1
@@ -91,7 +93,7 @@ func (d *Database) ApplyNetDelta(survivors []Update, workers int) int {
 		}
 		for _, v := range u.Tuple {
 			a := d.adomShard(v)
-			adomOps[a] = append(adomOps[a], adomAdj{v: v, delta: delta})
+			adomOps[a] = append(adomOps[a], adomAdj{v: v, delta: delta}) //dyncq:allow hotalloc per-shard bucket; growth is amortised over the batch, not per tuple
 		}
 	}
 
@@ -123,7 +125,7 @@ func (d *Database) ApplyNetDelta(survivors []Update, workers int) int {
 								bad.Store(true)
 								continue
 							}
-							m.Put(append([]Value(nil), op.tuple...), struct{}{})
+							m.Put(append([]Value(nil), op.tuple...), struct{}{}) //dyncq:allow hotalloc audited per-tuple copy: the store must own its tuples
 						} else if !m.Delete(op.tuple) {
 							bad.Store(true)
 						}

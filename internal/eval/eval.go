@@ -61,7 +61,7 @@ func (r *Result) Has(tuple []Value) bool {
 // Tuples returns the result tuples sorted lexicographically.
 func (r *Result) Tuples() [][]Value {
 	out := make([][]Value, 0, len(r.set))
-	for _, t := range r.set {
+	for _, t := range r.set { //dyncq:allow determinism tuples are sorted below, iteration order cannot leak
 		out = append(out, t)
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -77,7 +77,7 @@ func (r *Result) Tuples() [][]Value {
 
 // Each calls fn for every tuple until fn returns false.
 func (r *Result) Each(fn func(tuple []Value) bool) {
-	for _, t := range r.set {
+	for _, t := range r.set { //dyncq:allow determinism Each documents no yield order; order-sensitive consumers use Tuples
 		if !fn(t) {
 			return
 		}
@@ -457,7 +457,7 @@ func (s *IndexSet) IndexedRelations() map[string]bool {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	out := make(map[string]bool, len(s.idx))
-	for k := range s.idx {
+	for k := range s.idx { //dyncq:allow determinism builds an order-free set, iteration order cannot leak
 		out[k.rel] = true
 	}
 	return out
@@ -528,8 +528,9 @@ func (s *IndexSet) ApplyUpdate(u dyndb.Update) {
 	s.applyOne(u)
 }
 
+//dyncq:hot
 func (s *IndexSet) applyOne(u dyndb.Update) {
-	for k, ix := range s.idx {
+	for k, ix := range s.idx { //dyncq:allow determinism per-index maintenance is independent, any visit order yields the same indexes
 		if k.rel != u.Rel {
 			continue
 		}
@@ -577,6 +578,8 @@ func (s *IndexSet) Reload(diff []dyndb.Update) {
 // proj writes the masked positions of t into the index's scratch slice
 // and returns it. Mutators only (add/remove run under the owning set's
 // write lock); the concurrent read path (bucket) never touches scratch.
+//
+//dyncq:hot
 func (ix *Index) proj(t []Value) []Value {
 	p := ix.scratch[:0]
 	for j := range t {
@@ -588,21 +591,23 @@ func (ix *Index) proj(t []Value) []Value {
 	return p
 }
 
+//dyncq:hot
 func (ix *Index) add(t []Value) {
 	p := ix.proj(t)
 	b, ok := ix.buckets.Get(p)
 	if !ok {
 		b = &ixBucket{pos: tuplekey.NewMap[int](0)}
-		ix.buckets.Put(append([]Value(nil), p...), b)
+		ix.buckets.Put(append([]Value(nil), p...), b) //dyncq:allow hotalloc first insert into a fresh bucket only; the bucket key must outlive the scratch projection
 	}
 	if _, ok := b.pos.Get(t); ok {
 		return
 	}
-	stored := append([]Value(nil), t...)
+	stored := append([]Value(nil), t...) //dyncq:allow hotalloc audited per-tuple copy: the index must own its tuples
 	b.pos.Put(stored, len(b.tuples))
-	b.tuples = append(b.tuples, stored)
+	b.tuples = append(b.tuples, stored) //dyncq:allow hotalloc bucket growth is amortised; remove() backfills so capacity is reused
 }
 
+//dyncq:hot
 func (ix *Index) remove(t []Value) {
 	p := ix.proj(t)
 	b, ok := ix.buckets.Get(p)
@@ -632,6 +637,8 @@ func (ix *Index) remove(t []Value) {
 // mask position order). The returned slice is owned by the index and
 // valid until its next mutation; callers must not modify it. No
 // allocation and no key encoding happen on this path.
+//
+//dyncq:hot
 func (ix *Index) bucket(boundVals []Value) [][]Value {
 	b, ok := ix.buckets.Get(boundVals)
 	if !ok {
@@ -647,7 +654,7 @@ func (ix *Index) bucket(boundVals []Value) [][]Value {
 func (s *IndexSet) SanityCheck() error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	for k, ix := range s.idx {
+	for k, ix := range s.idx { //dyncq:allow determinism test-only diagnostic; which violation is reported first may vary, presence does not
 		count := 0
 		var err error
 		ix.buckets.Range(func(_ []Value, b *ixBucket) bool {

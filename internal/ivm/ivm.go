@@ -105,7 +105,7 @@ func (m *Maintainer) Apply(u dyndb.Update) (bool, error) {
 	}
 	occs := m.occ[u.Rel]
 	if u.Op == dyndb.OpInsert {
-		changed, err := m.db.Apply(u)
+		changed, err := m.db.Apply(u) //dyncq:allow epochstep private store (shared mode rejected above); idx.ApplyUpdate follows in lockstep
 		if err != nil || !changed {
 			return changed, err
 		}
@@ -121,7 +121,7 @@ func (m *Maintainer) Apply(u dyndb.Update) (bool, error) {
 	}
 	m.version++
 	m.applyDelta(occs, u.Tuple, -1)
-	if _, err := m.db.Apply(u); err != nil {
+	if _, err := m.db.Apply(u); err != nil { //dyncq:allow epochstep private store (shared mode rejected above); idx.ApplyUpdate follows in lockstep
 		return false, err
 	}
 	m.idx.ApplyUpdate(u)
@@ -172,7 +172,7 @@ func (m *Maintainer) ApplyBatch(updates []dyndb.Update) (int, error) {
 	}
 	m.version++
 	mustApply := func(u dyndb.Update) {
-		if changed, err := m.db.Apply(u); err != nil || !changed {
+		if changed, err := m.db.Apply(u); err != nil || !changed { //dyncq:allow epochstep private store (shared mode rejected above); idx.ApplyUpdate follows in lockstep
 			panic(fmt.Sprintf("ivm: validated delta failed to apply at %s (changed=%v err=%v)", u, changed, err))
 		}
 		m.idx.ApplyUpdate(u)

@@ -214,5 +214,5 @@ func (c *ConcurrentSession) ActiveDomainSize() int {
 func (c *ConcurrentSession) View(f func(s *Session, version uint64)) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	f(c.s, c.s.ws.Version())
+	f(c.s, c.s.ws.Version()) //dyncq:allow lockorder View's documented contract: f must not call locking methods
 }

@@ -505,7 +505,7 @@ func (w *Workspace) InsertS(rel string, names ...string) (bool, error) {
 	if err := w.checkArity(rel, len(names)); err != nil {
 		return false, err
 	}
-	d := w.Dict()
+	d := w.Dict() //dyncq:allow lockorder Dict is lock-free by construction (sync.Once, no w.mu), the PR 6 deadlock fix
 	tuple := make([]Value, len(names))
 	for i, n := range names {
 		tuple[i] = d.Encode(n)
@@ -523,7 +523,7 @@ func (w *Workspace) DeleteS(rel string, names ...string) (bool, error) {
 	if err := w.checkArity(rel, len(names)); err != nil {
 		return false, err
 	}
-	d := w.Dict()
+	d := w.Dict() //dyncq:allow lockorder Dict is lock-free by construction (sync.Once, no w.mu), the PR 6 deadlock fix
 	tuple := make([]Value, len(names))
 	for i, n := range names {
 		c, ok := d.Lookup(n)
@@ -606,11 +606,11 @@ func (w *Workspace) applyExclusive(u Update) (bool, error) {
 		for _, h := range w.order {
 			h.back.preDeleteOne(u.Rel, u.Tuple)
 		}
-		if _, err := w.store.Delete(u.Rel, u.Tuple...); err != nil {
+		if _, err := w.store.Delete(u.Rel, u.Tuple...); err != nil { //dyncq:allow epochstep single-update fast path; idx.ApplyUpdate follows below in lockstep
 			panic("dyncq: validated delete failed to apply: " + err.Error())
 		}
 	} else {
-		changed, err := w.store.Insert(u.Rel, u.Tuple...)
+		changed, err := w.store.Insert(u.Rel, u.Tuple...) //dyncq:allow epochstep single-update fast path; idx.ApplyUpdate follows below in lockstep
 		if err != nil || !changed {
 			return changed, err
 		}
@@ -645,6 +645,7 @@ func (w *Workspace) ApplyBatched(updates []Update, batchSize int) (int, error) {
 	return applyInChunks(updates, batchSize, w.ApplyBatch)
 }
 
+//dyncq:hot
 func (w *Workspace) applyBatchExclusive(updates []Update) (int, error) {
 	// Union-schema validation first: errors name the owning query.
 	// Store-level arity validation (relations outside every query, and
@@ -657,7 +658,7 @@ func (w *Workspace) applyBatchExclusive(updates []Update) (int, error) {
 	}
 	survivors, err := w.store.NetDelta(updates)
 	if err != nil {
-		return 0, fmt.Errorf("dyncq: %w", err)
+		return 0, fmt.Errorf("dyncq: %w", err) //dyncq:allow hotalloc cold error path, never taken by validated batches
 	}
 	if len(survivors) == 0 {
 		return 0, nil
@@ -1014,7 +1015,7 @@ func (w *Workspace) resetIdxLocked() {
 func (w *Workspace) View(f func(v *WorkspaceView)) {
 	w.mu.RLock()
 	defer w.mu.RUnlock()
-	f(&WorkspaceView{w: w})
+	f(&WorkspaceView{w: w}) //dyncq:allow lockorder View's documented contract: f must not call locking methods
 }
 
 // WorkspaceView is the lock-free read surface View hands its callback:

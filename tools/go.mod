@@ -1,0 +1,14 @@
+// Nested tools module: pins the versions of the external analysis
+// tools CI runs (staticcheck, govulncheck) without adding them — or
+// their dependency trees — to the engine module. CI materialises the
+// go.sum with `go mod tidy` (which respects these pins) and builds the
+// tools from here; the engine module itself stays offline-buildable
+// from its vendor directory.
+module dyncq/tools
+
+go 1.24
+
+require (
+	golang.org/x/vuln v1.1.4
+	honnef.co/go/tools v0.6.1
+)

@@ -1,0 +1,16 @@
+//go:build tools
+
+// Package tools pins the CI analysis tools as blank imports so the Go
+// module machinery tracks their versions (the canonical "tools.go"
+// pattern). The build tag keeps the imports out of every real build;
+// `go mod tidy` in this directory still sees them and retains the
+// pinned requires in go.mod.
+//
+// Upgrading a tool is a one-line go.mod change here, reviewed like any
+// other dependency bump — CI never floats on a `go run tool@latest`.
+package tools
+
+import (
+	_ "golang.org/x/vuln/cmd/govulncheck"
+	_ "honnef.co/go/tools/cmd/staticcheck"
+)
