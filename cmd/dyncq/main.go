@@ -41,6 +41,10 @@ func main() {
 		err = cmdClassify(os.Args[2:])
 	case "torture":
 		err = cmdTorture(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
+	case "client":
+		err = cmdClient(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -63,6 +67,9 @@ Subcommands:
   bench     run the benchmark suite, write a JSON report
   classify  print the classification and routing decision for a query
   torture   run the seeded torture/soak matrix (internal/torture)
+  serve     long-lived TCP query server: MVCC snapshot readers, live
+            delta subscriptions (protocol: internal/server/wire.go)
+  client    interactive line client for a running serve instance
 
 Run 'dyncq <subcommand> -h' for flags.
 
@@ -418,7 +425,7 @@ func cmdBench(args []string) error {
 		return cmdBenchSpeedup(args[1:])
 	}
 	fs := flag.NewFlagSet("dyncq bench", flag.ExitOnError)
-	out := fs.String("out", "BENCH_PR6.json", "output JSON path")
+	out := fs.String("out", "BENCH_PR9.json", "output JSON path")
 	seed := fs.Int64("seed", 1, "workload RNG seed")
 	n := fs.Int("n", 300, "star and hard-sqet case size (node count / domain); random-qh uses a fixed small domain")
 	streamLen := fs.Int("updates", 2000, "measured update-stream length per case")
@@ -432,6 +439,7 @@ func cmdBench(args []string) error {
 	multi := fs.Bool("multi", true, "run the multi-query workspace phase (K queries over one shared store)")
 	multiBatch := fs.Int("multi-batch", 256, "batch size of the multi-query phase")
 	multiWorkersFlag := fs.String("multi-workers", "1,2,4", "comma-separated worker counts for the multi-query scaling phase (empty = skip)")
+	serverPhase := fs.Bool("server", false, "run the server phase (internal/server front door: notify latency, concurrent MVCC reader throughput)")
 	large := fs.Bool("large", false, "run the production-scale tier (grouped schema, Zipf stream, K live queries)")
 	largeTuples := fs.Int("large-tuples", 1_000_000, "initial database size of the large tier")
 	largeUpdates := fs.Int("large-updates", 100_000, "measured stream length of the large tier")
@@ -554,6 +562,12 @@ func cmdBench(args []string) error {
 			return err
 		}
 	}
+	if *serverPhase {
+		rep.Server, err = bench.RunServerSuite(bench.DefaultServerSuite())
+		if err != nil {
+			return err
+		}
+	}
 	rep.GoVersion = runtime.Version()
 	if err := rep.WriteJSON(*out); err != nil {
 		return err
@@ -612,6 +626,12 @@ func cmdBench(args []string) error {
 			fmt.Printf("  scaling workers %2d: %8.0f updates/s  speedup %.2fx\n",
 				sc.Workers, sc.UpdatesPerSec, sc.SpeedupVs1)
 		}
+	}
+	for _, sv := range rep.Server {
+		fmt.Printf("\nserver %s  %d subscribers, %d readers, %d batches of %d\n",
+			sv.Name, sv.Subscribers, sv.Readers, sv.Batches, sv.BatchSize)
+		fmt.Printf("  commit p50 %8dns p99 %8dns  notify p50 %8dns p99 %8dns  reads %8.0f/s  dropped frames %d\n",
+			sv.CommitNS.P50, sv.CommitNS.P99, sv.NotifyNS.P50, sv.NotifyNS.P99, sv.ReadsPerSec, sv.DroppedFrames)
 	}
 	for _, lg := range rep.Large {
 		fmt.Printf("\nlarge %s  %d queries over %d groups, %d initial tuples, %d updates in batches of %d (zipf s=%.2f, p-delete %.2f)\n",

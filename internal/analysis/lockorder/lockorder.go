@@ -50,6 +50,11 @@ var Analyzer = &analysis.Analyzer{
 var lockRank = map[string]int{
 	"dyncq/pkg/dyncq.Workspace.mu":    0,
 	"dyncq/internal/eval.IndexSet.mu": 1,
+	// The subscription broker publishes with the workspace write lock
+	// held (commit → delta capture → publish), so its mutex ranks
+	// strictly above both engine locks and nothing blocking may run
+	// under it — sends to subscriber outboxes must stay select-default.
+	"dyncq/internal/server.broker.mu": 2,
 }
 
 // heldLock is one lock the current function has acquired and not yet

@@ -18,3 +18,7 @@ func TestNegative(t *testing.T) {
 func TestRankedAndReentry(t *testing.T) {
 	atest.Run(t, "testdata", lockorder.Analyzer, "dyncq/pkg/dyncq")
 }
+
+func TestBrokerRank(t *testing.T) {
+	atest.Run(t, "testdata", lockorder.Analyzer, "dyncq/internal/server")
+}

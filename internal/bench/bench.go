@@ -191,6 +191,10 @@ type Report struct {
 	// Large holds the production-scale tier (see RunLarge); only
 	// invocations that opt in (bench -large) produce it.
 	Large []LargeResult `json:"large,omitempty"`
+	// Server holds the serving front-door phase (see RunServer):
+	// update-to-subscriber-notification latency and concurrent MVCC
+	// reader throughput; reports from before the server existed lack it.
+	Server []ServerResult `json:"server,omitempty"`
 	// Notes carries free-form context an operator attached to the
 	// artifact — e.g. the before/after allocation reductions recorded
 	// when a memory refactor lands. Purely informational: the compare

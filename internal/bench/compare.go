@@ -263,6 +263,40 @@ func CompareWithNotices(oldRep, newRep Report, opt CompareOptions) ([]Regression
 		}
 	}
 
+	// Server phase: gate the front door's commit round-trip and
+	// update-to-notification latencies, with the same skip notices in
+	// both directions as every other phase.
+	switch {
+	case len(newRep.Server) > 0 && len(oldRep.Server) == 0:
+		notices = append(notices, "baseline has no server phase: not gated")
+	case len(newRep.Server) == 0 && len(oldRep.Server) > 0:
+		notices = append(notices, "new report has no server phase (bench -server?): not gated")
+	case len(newRep.Server) > 0:
+		oldServer := make(map[string]ServerResult, len(oldRep.Server))
+		for _, sr := range oldRep.Server {
+			oldServer[sr.Name] = sr
+		}
+		newServer := make(map[string]bool, len(newRep.Server))
+		for _, ns := range newRep.Server {
+			newServer[ns.Name] = true
+			os, ok := oldServer[ns.Name]
+			if !ok {
+				notices = append(notices, fmt.Sprintf("server case %q absent from baseline: not gated", ns.Name))
+				continue
+			}
+			who := "server/" + ns.Name
+			regs = append(regs, compareMetric(who, "commit_ns.p50", os.CommitNS.P50, ns.CommitNS.P50, opt.Tolerance, opt)...)
+			regs = append(regs, compareMetric(who, "commit_ns.p99", os.CommitNS.P99, ns.CommitNS.P99, opt.p99Tolerance(), opt)...)
+			regs = append(regs, compareMetric(who, "notify_ns.p50", os.NotifyNS.P50, ns.NotifyNS.P50, opt.Tolerance, opt)...)
+			regs = append(regs, compareMetric(who, "notify_ns.p99", os.NotifyNS.P99, ns.NotifyNS.P99, opt.p99Tolerance(), opt)...)
+		}
+		for _, os := range oldRep.Server {
+			if !newServer[os.Name] {
+				notices = append(notices, fmt.Sprintf("server case %q in baseline but not in new report: not gated", os.Name))
+			}
+		}
+	}
+
 	if !opt.IncludeSweeps {
 		return regs, notices
 	}

@@ -1,0 +1,241 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dyncq/internal/cq"
+	"dyncq/internal/server"
+	"dyncq/internal/workload"
+)
+
+// This file is the server phase of the bench suite: it measures the
+// serving front door (internal/server) end to end — update-to-
+// subscriber-notification latency and concurrent MVCC reader
+// throughput while a writer streams batches. Connections are net.Pipe:
+// in-process and unbuffered, so the measured path is the full
+// parse → commit → delta capture → broker publish → outbox → wire
+// pipeline without kernel socket noise.
+
+// ServerConfig describes one server-phase benchmark case.
+type ServerConfig struct {
+	// Name labels the case in the report.
+	Name string
+	// Query is the maintained query text, registered as "q".
+	Query string
+	// Subscribers is the number of delta-subscribed client connections.
+	Subscribers int
+	// Readers is the number of client connections hammering count
+	// requests (MVCC snapshot reads) while the writer streams.
+	Readers int
+	// Batches and BatchSize shape the measured update stream.
+	Batches   int
+	BatchSize int
+	// Domain and PDelete shape the workload (see workload.RandomStream).
+	Domain  int
+	PDelete float64
+	// Seed makes the workload reproducible.
+	Seed int64
+	// OutboxFrames sizes the per-connection outbox (0 = server default).
+	OutboxFrames int
+}
+
+// ServerResult records one server-phase case.
+type ServerResult struct {
+	Name        string `json:"name"`
+	Subscribers int    `json:"subscribers"`
+	Readers     int    `json:"readers"`
+	Batches     int    `json:"batches"`
+	BatchSize   int    `json:"batch_size"`
+	// CommitNS is the writer-observed ApplyBatch round-trip latency
+	// (request write to ok-committed receipt).
+	CommitNS Percentiles `json:"commit_ns"`
+	// NotifyNS is the update-to-notification latency: commit start at
+	// the writer to delta-frame receipt at a subscriber, pooled over
+	// all subscribers and versions.
+	NotifyNS Percentiles `json:"notify_ns"`
+	// Reads is the number of count round-trips completed by the reader
+	// clients while the writer streamed; ReadsPerSec normalises by the
+	// streaming wall time.
+	Reads       int64   `json:"reads"`
+	ReadsPerSec float64 `json:"reads_per_sec"`
+	// DroppedFrames counts subscriber frames dropped to the bounded
+	// outbox during the run (0 on a healthy run; nonzero means the
+	// notify percentiles describe a degraded, resyncing consumer).
+	DroppedFrames uint64 `json:"dropped_frames"`
+}
+
+// DefaultServerSuite is the standard server phase: one core-routed and
+// one IVM-routed query case, small enough for a CI smoke yet busy
+// enough to exercise fan-out, broker publish, and reader concurrency.
+func DefaultServerSuite() []ServerConfig {
+	return []ServerConfig{
+		{
+			Name: "serve-star", Query: "Q(y) :- E(x,y), T(y)",
+			Subscribers: 3, Readers: 2,
+			Batches: 150, BatchSize: 40, Domain: 24, PDelete: 0.35, Seed: 1,
+		},
+		{
+			Name: "serve-hard", Query: "Q(x,y) :- S(x), E(x,y), T(y)",
+			Subscribers: 2, Readers: 2,
+			Batches: 100, BatchSize: 40, Domain: 20, PDelete: 0.35, Seed: 2,
+		},
+	}
+}
+
+// RunServer measures one server-phase case.
+func RunServer(cfg ServerConfig) (ServerResult, error) {
+	if cfg.Batches <= 0 || cfg.BatchSize <= 0 {
+		return ServerResult{}, fmt.Errorf("server case %q: Batches and BatchSize must be positive", cfg.Name)
+	}
+	q, err := cq.Parse(cfg.Query)
+	if err != nil {
+		return ServerResult{}, fmt.Errorf("server case %q: %v", cfg.Name, err)
+	}
+	srv := server.New(server.Options{OutboxFrames: cfg.OutboxFrames})
+	defer srv.Close()
+	dial := func() (*server.Client, error) {
+		cs, ss := net.Pipe()
+		go srv.ServeConn(ss)
+		return server.NewClient(cs), nil
+	}
+
+	writer, err := dial()
+	if err != nil {
+		return ServerResult{}, err
+	}
+	defer writer.Close()
+	if err := writer.Register("q", cfg.Query); err != nil {
+		return ServerResult{}, fmt.Errorf("server case %q: %v", cfg.Name, err)
+	}
+
+	// commitStart[v] is the wall-clock instant just before the batch
+	// that committed version v was sent; subscribers subtract it from
+	// their frame receipt instant. Versions are 1-based and dense.
+	commitStart := make([]time.Time, cfg.Batches+1)
+
+	var notifyMu sync.Mutex
+	notifyNS := make([]int64, 0, cfg.Batches*max(cfg.Subscribers, 1))
+	var dropped atomic.Uint64
+	var subWG sync.WaitGroup
+	for i := 0; i < cfg.Subscribers; i++ {
+		sub, err := dial()
+		if err != nil {
+			return ServerResult{}, err
+		}
+		defer sub.Close()
+		if _, err := sub.Subscribe("q"); err != nil {
+			return ServerResult{}, fmt.Errorf("server case %q: %v", cfg.Name, err)
+		}
+		subWG.Add(1)
+		go func(c *server.Client) {
+			defer subWG.Done()
+			local := make([]int64, 0, cfg.Batches)
+			// The whole-run bound guards the degenerate case where a
+			// lagged subscriber's terminal frame was dropped and no
+			// further commit arrives to carry the resync.
+			timeout := time.After(60 * time.Second)
+		drain:
+			for {
+				select {
+				case d, ok := <-c.Deltas():
+					if !ok {
+						break drain
+					}
+					now := time.Now()
+					if d.Resync {
+						dropped.Add(d.Dropped)
+					} else if d.Version >= 1 && d.Version <= uint64(cfg.Batches) {
+						local = append(local, now.Sub(commitStart[d.Version]).Nanoseconds())
+					}
+					if d.Version >= uint64(cfg.Batches) {
+						break drain
+					}
+				case <-timeout:
+					break drain
+				}
+			}
+			notifyMu.Lock()
+			notifyNS = append(notifyNS, local...)
+			notifyMu.Unlock()
+		}(sub)
+	}
+
+	stop := make(chan struct{})
+	var reads atomic.Int64
+	var readerWG sync.WaitGroup
+	for i := 0; i < cfg.Readers; i++ {
+		rc, err := dial()
+		if err != nil {
+			return ServerResult{}, err
+		}
+		defer rc.Close()
+		readerWG.Add(1)
+		go func(c *server.Client) {
+			defer readerWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, _, err := c.Count("q"); err != nil {
+					return
+				}
+				reads.Add(1)
+			}
+		}(rc)
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	commitNS := make([]int64, 0, cfg.Batches)
+	streamStart := time.Now()
+	for b := 1; b <= cfg.Batches; b++ {
+		batch := workload.RandomStream(rng, q.Schema(), cfg.Domain, cfg.BatchSize, cfg.PDelete)
+		t0 := time.Now()
+		commitStart[b] = t0
+		if _, _, err := writer.ApplyBatch(batch); err != nil {
+			close(stop)
+			return ServerResult{}, fmt.Errorf("server case %q batch %d: %v", cfg.Name, b, err)
+		}
+		commitNS = append(commitNS, time.Since(t0).Nanoseconds())
+	}
+	streamed := time.Since(streamStart)
+	close(stop)
+	readerWG.Wait()
+	subWG.Wait()
+
+	res := ServerResult{
+		Name:        cfg.Name,
+		Subscribers: cfg.Subscribers,
+		Readers:     cfg.Readers,
+		Batches:     cfg.Batches,
+		BatchSize:   cfg.BatchSize,
+		CommitNS:    percentiles(commitNS),
+		NotifyNS:    percentiles(notifyNS),
+		Reads:       reads.Load(),
+		DroppedFrames: dropped.Load() +
+			srv.DroppedFrames("q"), // resynced + still-lagged at shutdown
+	}
+	if sec := streamed.Seconds(); sec > 0 {
+		res.ReadsPerSec = float64(res.Reads) / sec
+	}
+	return res, nil
+}
+
+// RunServerSuite measures every case of the suite.
+func RunServerSuite(suite []ServerConfig) ([]ServerResult, error) {
+	out := make([]ServerResult, 0, len(suite))
+	for _, cfg := range suite {
+		r, err := RunServer(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

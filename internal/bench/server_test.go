@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"testing"
+)
+
+// TestRunServerSmoke runs one tiny server case end to end: real server,
+// real wire protocol over net.Pipe, every measured dimension populated.
+func TestRunServerSmoke(t *testing.T) {
+	res, err := RunServer(ServerConfig{
+		Name: "smoke", Query: "Q(y) :- E(x,y), T(y)",
+		Subscribers: 2, Readers: 1,
+		Batches: 20, BatchSize: 10, Domain: 12, PDelete: 0.3, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CommitNS.P50 <= 0 {
+		t.Fatalf("commit p50 not measured: %+v", res.CommitNS)
+	}
+	if res.NotifyNS.P50 <= 0 {
+		t.Fatalf("notify p50 not measured: %+v", res.NotifyNS)
+	}
+	if res.Reads <= 0 || res.ReadsPerSec <= 0 {
+		t.Fatalf("reader throughput not measured: reads=%d rate=%f", res.Reads, res.ReadsPerSec)
+	}
+	if res.DroppedFrames != 0 {
+		t.Fatalf("healthy smoke run dropped %d frames", res.DroppedFrames)
+	}
+}
+
+func TestRunServerRejectsBadConfig(t *testing.T) {
+	if _, err := RunServer(ServerConfig{Name: "no-batches", Query: "Q(x) :- E(x,y)"}); err == nil {
+		t.Fatal("zero Batches accepted")
+	}
+	if _, err := RunServer(ServerConfig{Name: "bad-query", Query: "nonsense(", Batches: 1, BatchSize: 1}); err == nil {
+		t.Fatal("unparsable query accepted")
+	}
+}
+
+// TestCompareServerPhaseNotices: a baseline that predates the server
+// phase skips it with a notice (both directions), never a regression.
+func TestCompareServerPhaseNotices(t *testing.T) {
+	withServer := Report{Server: []ServerResult{{
+		Name:     "serve-star",
+		CommitNS: Percentiles{P50: 1 << 30, P99: 1 << 30}, // huge, but ungated: no baseline
+		NotifyNS: Percentiles{P50: 1 << 30, P99: 1 << 30},
+	}}}
+	regs, notices := CompareWithNotices(Report{}, withServer, DefaultCompareOptions())
+	if len(regs) != 0 {
+		t.Fatalf("server phase absent from baseline produced regressions: %v", regs)
+	}
+	if len(notices) != 1 {
+		t.Fatalf("notices = %v, want exactly the missing-server-phase notice", notices)
+	}
+	regs, notices = CompareWithNotices(withServer, Report{}, DefaultCompareOptions())
+	if len(regs) != 0 || len(notices) != 1 {
+		t.Fatalf("reverse direction: regs=%v notices=%v, want 0 regs and 1 notice", regs, notices)
+	}
+}
+
+// TestCompareGatesServerPhase: with a server phase in both reports, its
+// commit and notify percentiles are gated like every other latency.
+func TestCompareGatesServerPhase(t *testing.T) {
+	mk := func(commitP50, notifyP50 int64) Report {
+		// p99s held constant so only the p50 movement is under test.
+		return Report{Server: []ServerResult{{
+			Name:     "serve-star",
+			CommitNS: Percentiles{P50: commitP50, P99: 900000},
+			NotifyNS: Percentiles{P50: notifyP50, P99: 900000},
+		}}}
+	}
+	opt := DefaultCompareOptions()
+	regs, notices := CompareWithNotices(mk(100000, 200000), mk(100000, 200000), opt)
+	if len(regs) != 0 || len(notices) != 0 {
+		t.Fatalf("identical server phases flagged: regs=%v notices=%v", regs, notices)
+	}
+	regs, _ = CompareWithNotices(mk(100000, 200000), mk(250000, 200000), opt)
+	if len(regs) != 1 || regs[0].Metric != "commit_ns.p50" {
+		t.Fatalf("regressed commit p50 not flagged exactly once: %v", regs)
+	}
+	regs, _ = CompareWithNotices(mk(100000, 200000), mk(100000, 500000), opt)
+	if len(regs) != 1 || regs[0].Metric != "notify_ns.p50" {
+		t.Fatalf("regressed notify p50 not flagged exactly once: %v", regs)
+	}
+}

@@ -1,0 +1,275 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"dyncq/pkg/dyncq"
+)
+
+// Options configures a Server. The zero value is usable; zero fields
+// take the defaults below.
+type Options struct {
+	// Workers is the Workspace worker count (see
+	// dyncq.WorkspaceOptions.Workers). 0 keeps every path sequential.
+	Workers int
+	// OutboxFrames bounds each connection's outgoing frame queue.
+	// When a subscriber's outbox is full, delta frames are dropped and
+	// the subscriber is resynced later — commits never wait on a slow
+	// consumer. Default 256.
+	OutboxFrames int
+	// WriteTimeout bounds each frame write to a connection; a stuck
+	// peer is disconnected rather than pinning its writer goroutine.
+	// Default 10s; negative disables.
+	WriteTimeout time.Duration
+	// DrainTimeout bounds Close's wait for live sessions to finish.
+	// Default 5s.
+	DrainTimeout time.Duration
+	// MaxLine bounds one request line in bytes. Default 16 MiB
+	// (matching the update-stream reader).
+	MaxLine int
+}
+
+func (o Options) withDefaults() Options {
+	if o.OutboxFrames <= 0 {
+		o.OutboxFrames = 256
+	}
+	if o.WriteTimeout == 0 {
+		o.WriteTimeout = 10 * time.Second
+	}
+	if o.DrainTimeout <= 0 {
+		o.DrainTimeout = 5 * time.Second
+	}
+	if o.MaxLine <= 0 {
+		o.MaxLine = 16 << 20
+	}
+	return o
+}
+
+// Server owns one Workspace and serves it to many concurrent client
+// connections. Writers (apply/commit) serialize on the workspace's own
+// write lock; readers are MVCC — count/answer/enumerate pin snapshots
+// and never block commits. Subscriptions push per-commit delta frames
+// through a bounded outbox per connection (see broker).
+type Server struct {
+	ws     *dyncq.Workspace
+	opt    Options
+	broker *broker
+
+	// subMu serializes all subscription topology changes: broker
+	// add/remove, capture start/stop, and each session's subs map. It
+	// is always acquired with no other lock held; the workspace and
+	// broker locks nest beneath the operations it serializes.
+	subMu sync.Mutex
+
+	mu        sync.Mutex // guards sessions, listeners, closed
+	sessions  map[*session]struct{}
+	listeners map[net.Listener]struct{}
+	closed    bool
+	wg        sync.WaitGroup
+}
+
+// New builds a Server around a fresh Workspace.
+func New(opt Options) *Server {
+	return &Server{
+		ws:        dyncq.NewWorkspace(dyncq.WorkspaceOptions{Workers: opt.Workers}),
+		opt:       opt.withDefaults(),
+		broker:    newBroker(),
+		sessions:  make(map[*session]struct{}),
+		listeners: make(map[net.Listener]struct{}),
+	}
+}
+
+// Workspace exposes the served workspace, e.g. to pre-register queries
+// or preload a database before accepting clients.
+func (s *Server) Workspace() *dyncq.Workspace { return s.ws }
+
+// ErrClosed is returned by Serve/ServeConn after Close.
+var ErrClosed = errors.New("server closed")
+
+// Serve accepts connections on l until l is closed or the server shuts
+// down. Blocking; one goroutine per accepted connection.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		l.Close()
+		return ErrClosed
+	}
+	s.listeners[l] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, l)
+		s.mu.Unlock()
+	}()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return ErrClosed
+			}
+			return err
+		}
+		go s.ServeConn(conn)
+	}
+}
+
+// ListenAndServe listens on addr ("host:port") and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// ServeConn runs the wire protocol on one already-established
+// connection (any net.Conn — TCP, Unix socket, or net.Pipe in tests).
+// Blocking until the client quits, the connection drops, or the server
+// closes; callers wanting concurrency spawn it: go srv.ServeConn(c).
+func (s *Server) ServeConn(conn net.Conn) error {
+	sess := newSession(s, conn)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		conn.Close()
+		return ErrClosed
+	}
+	s.sessions[sess] = struct{}{}
+	s.wg.Add(1)
+	s.mu.Unlock()
+	defer s.wg.Done()
+	sess.run()
+	return nil
+}
+
+// Close stops accepting, disconnects every session, and waits up to
+// DrainTimeout for their goroutines to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for l := range s.listeners {
+		l.Close()
+	}
+	live := make([]*session, 0, len(s.sessions))
+	for sess := range s.sessions {
+		live = append(live, sess)
+	}
+	s.mu.Unlock()
+
+	for _, sess := range live {
+		sess.close()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-time.After(s.opt.DrainTimeout):
+		return fmt.Errorf("server close: %d session(s) still draining after %v", s.SessionCount(), s.opt.DrainTimeout)
+	}
+}
+
+// DroppedFrames reports the delta frames dropped for name's currently
+// lagged subscribers (observability; the bench server phase records it).
+func (s *Server) DroppedFrames(name string) uint64 {
+	return s.broker.droppedFrames(name)
+}
+
+// SessionCount returns the number of live sessions (observability).
+func (s *Server) SessionCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// subscribe wires sess into name's delta stream. The first subscriber
+// of a query starts delta capture on the workspace; the returned
+// version is a pre-capture lower bound — the client syncs by
+// enumerating AFTER subscribing and skipping deltas at or below the
+// snapshot's version.
+func (s *Server) subscribe(sess *session, name string) (uint64, error) {
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
+	if s.ws.Handle(name) == nil {
+		return 0, fmt.Errorf("unknown query %q", name)
+	}
+	if _, dup := sess.subs[name]; dup {
+		return 0, fmt.Errorf("already subscribed to %q", name)
+	}
+	version := s.ws.Version()
+	sub := &subscriber{sess: sess}
+	if first := s.broker.add(name, sub); first {
+		if err := s.ws.CaptureDeltas(name, func(ev dyncq.DeltaEvent) { s.broker.publish(ev) }); err != nil {
+			s.broker.remove(name, sess)
+			return 0, err
+		}
+	}
+	sess.subs[name] = sub
+	return version, nil
+}
+
+// unsubscribe unwires sess from name; the last unsubscribe of a query
+// stops its delta capture.
+func (s *Server) unsubscribe(sess *session, name string) bool {
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
+	return s.unsubscribeLocked(sess, name)
+}
+
+func (s *Server) unsubscribeLocked(sess *session, name string) bool {
+	if _, ok := sess.subs[name]; !ok {
+		return false
+	}
+	delete(sess.subs, name)
+	found, last := s.broker.remove(name, sess)
+	if found && last {
+		s.ws.StopDeltaCapture(name)
+	}
+	return true
+}
+
+// unregister removes a query from the workspace and severs all its
+// subscriptions. Subscribers simply stop receiving frames for it.
+func (s *Server) unregister(name string) bool {
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
+	// Unregister clears the capture hook itself; the broker hands back
+	// the severed subscribers so their sessions' subs maps (guarded by
+	// subMu, held here) are reaped eagerly — a later subscribe to a
+	// re-registered name must not read as a "duplicate".
+	if !s.ws.Unregister(name) {
+		return false
+	}
+	for _, sub := range s.broker.take(name) {
+		delete(sub.sess.subs, name)
+	}
+	return true
+}
+
+// dropSession severs a disconnecting session's subscriptions, stopping
+// capture for any query it was the last subscriber of.
+func (s *Server) dropSession(sess *session) {
+	s.subMu.Lock()
+	for name := range sess.subs {
+		s.unsubscribeLocked(sess, name)
+	}
+	s.subMu.Unlock()
+	s.mu.Lock()
+	delete(s.sessions, sess)
+	s.mu.Unlock()
+}

@@ -1,0 +1,437 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"math/rand"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"dyncq/internal/cq"
+	"dyncq/internal/dyndb"
+	"dyncq/internal/eval"
+	"dyncq/internal/workload"
+	"dyncq/pkg/dyncq"
+)
+
+// pipeClient wires a Client to a fresh in-process session over
+// net.Pipe (deterministic; no real sockets).
+func pipeClient(t *testing.T, srv *Server) *Client {
+	t.Helper()
+	cs, ss := net.Pipe()
+	go srv.ServeConn(ss)
+	c := NewClient(cs)
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func newTestServer(t *testing.T, opt Options) *Server {
+	t.Helper()
+	srv := New(opt)
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func TestProtocolBasics(t *testing.T) {
+	srv := newTestServer(t, Options{})
+	c := pipeClient(t, srv)
+
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Register("q", "Q(y) :- E(x,y), T(y)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Register("q", "Q(y) :- E(x,y)"); err == nil {
+		t.Fatal("duplicate register succeeded")
+	}
+	if names, err := c.Queries(); err != nil || len(names) != 1 || names[0] != "q" {
+		t.Fatalf("queries = %v, %v", names, err)
+	}
+
+	changed, v, err := c.Apply(dyndb.Insert("E", 1, 2))
+	if err != nil || !changed || v != 1 {
+		t.Fatalf("apply: changed=%v v=%d err=%v", changed, v, err)
+	}
+	if changed, _, err = c.Apply(dyndb.Insert("E", 1, 2)); err != nil || changed {
+		t.Fatalf("duplicate insert reported changed=%v err=%v", changed, err)
+	}
+	if _, _, err := c.ApplyBatch([]dyncq.Update{
+		dyndb.Insert("T", 2),
+		dyndb.Insert("E", 3, 2),
+		dyndb.Insert("E", 4, 7),
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	n, _, err := c.Count("q")
+	if err != nil || n != 1 {
+		t.Fatalf("count = %d, %v", n, err)
+	}
+	yes, _, err := c.Answer("q")
+	if err != nil || !yes {
+		t.Fatalf("answer = %v, %v", yes, err)
+	}
+	snap, err := c.Enumerate("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Tuples) != 1 || snap.Tuples[0][0] != 2 || snap.Arity != 1 {
+		t.Fatalf("enumerate = %+v", snap)
+	}
+	if _, err := c.Enumerate("nope"); err == nil {
+		t.Fatal("enumerate of unknown query succeeded")
+	}
+	if err := c.Unregister("q"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Count("q"); err == nil {
+		t.Fatal("count after unregister succeeded")
+	}
+	if err := c.Quit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProtocolBatchAbortAndPoison(t *testing.T) {
+	srv := newTestServer(t, Options{})
+	c := pipeClient(t, srv)
+	if err := c.Register("q", "Q(x,y) :- E(x,y)"); err != nil {
+		t.Fatal(err)
+	}
+
+	// A malformed line inside begin/commit poisons the whole batch:
+	// nothing is applied.
+	cs, ss := net.Pipe()
+	go srv.ServeConn(ss)
+	defer cs.Close()
+	br := bufio.NewReader(cs)
+	sendLine := func(l string) {
+		t.Helper()
+		if _, err := cs.Write([]byte(l + "\n")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	expect := func(prefix string) string {
+		t.Helper()
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		line = strings.TrimRight(line, "\n")
+		if !strings.HasPrefix(line, prefix) {
+			t.Fatalf("got %q, want prefix %q", line, prefix)
+		}
+		return line
+	}
+	sendLine("begin")
+	expect("ok begin")
+	sendLine("+E(1,2)")
+	sendLine("this is not an update")
+	sendLine("+E(3,4)")
+	sendLine("commit")
+	expect("err batch aborted:")
+	if n, _, err := c.Count("q"); err != nil || n != 0 {
+		t.Fatalf("poisoned batch leaked state: count=%d err=%v", n, err)
+	}
+
+	sendLine("begin")
+	expect("ok begin")
+	sendLine("+E(1,2)")
+	sendLine("abort")
+	expect("ok aborted")
+	if n, _, err := c.Count("q"); err != nil || n != 0 {
+		t.Fatalf("aborted batch leaked state: count=%d err=%v", n, err)
+	}
+
+	sendLine("commit")
+	expect("err commit outside begin")
+}
+
+// TestSubscribeStreamsDeltas: the full subscribe → enumerate → apply
+// deltas loop reconstructs the query result exactly, verified against
+// an eval.Evaluate oracle on an independently maintained database.
+func TestSubscribeStreamsDeltas(t *testing.T) {
+	srv := newTestServer(t, Options{})
+	writer := pipeClient(t, srv)
+	subsc := pipeClient(t, srv)
+
+	queryText := "Q(y) :- E(x,y), T(y)"
+	if err := writer.Register("q", queryText); err != nil {
+		t.Fatal(err)
+	}
+	q := cq.MustParse(queryText)
+
+	if _, err := subsc.Subscribe("q"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := subsc.Subscribe("q"); err == nil {
+		t.Fatal("duplicate subscribe succeeded")
+	}
+	base, err := subsc.Enumerate("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(11))
+	db := dyndb.New()
+	stream := workload.RandomStream(rng, q.Schema(), 12, 400, 0.35)
+	var finalVersion uint64
+	for i := 0; i < len(stream); i += 40 {
+		end := i + 40
+		if end > len(stream) {
+			end = len(stream)
+		}
+		if _, finalVersion, err = writer.ApplyBatch(stream[i:end]); err != nil {
+			t.Fatal(err)
+		}
+		for _, u := range stream[i:end] {
+			if _, err := db.Apply(u); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	state := make(map[string]bool)
+	for _, tup := range base.Tuples {
+		state[fmt.Sprint(tup)] = true
+	}
+	for d := range subsc.Deltas() {
+		if d.Resync {
+			t.Fatalf("unexpected resync (outbox should be ample): %+v", d)
+		}
+		if d.Version <= base.Version {
+			continue // pre-snapshot delta; already folded into the base
+		}
+		for _, tup := range d.Added {
+			k := fmt.Sprint(tup)
+			if state[k] {
+				t.Fatalf("version %d adds duplicate %v", d.Version, tup)
+			}
+			state[k] = true
+		}
+		for _, tup := range d.Removed {
+			k := fmt.Sprint(tup)
+			if !state[k] {
+				t.Fatalf("version %d removes absent %v", d.Version, tup)
+			}
+			delete(state, k)
+		}
+		if d.Version == finalVersion {
+			break
+		}
+	}
+
+	want := eval.Evaluate(q, db).Tuples()
+	if len(want) != len(state) {
+		t.Fatalf("replayed state has %d tuples, oracle %d", len(state), len(want))
+	}
+	for _, tup := range want {
+		if !state[fmt.Sprint([]dyncq.Value(tup))] {
+			t.Fatalf("oracle tuple %v missing from replayed state", tup)
+		}
+	}
+
+	if err := subsc.Unsubscribe("q"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := writer.Apply(dyndb.Insert("E", 999, 999)); err != nil {
+		t.Fatal(err)
+	}
+	// After the last unsubscribe the capture is stopped server-side.
+	if srv.broker.droppedFrames("q") != 0 {
+		t.Fatal("dropped frames on an ample outbox")
+	}
+}
+
+// TestSlowSubscriberDoesNotStallCommits is the graceful-degradation
+// satellite: a subscriber that stops reading must not block ApplyBatch.
+// The bounded outbox fills, frames are dropped, and once the subscriber
+// drains it receives a resync line and can rebuild exact state with one
+// re-enumerate.
+func TestSlowSubscriberDoesNotStallCommits(t *testing.T) {
+	srv := newTestServer(t, Options{OutboxFrames: 2, WriteTimeout: time.Minute})
+	writer := pipeClient(t, srv)
+	queryText := "Q(x,y) :- E(x,y)"
+	if err := writer.Register("q", queryText); err != nil {
+		t.Fatal(err)
+	}
+
+	// Raw subscriber connection: net.Pipe is unbuffered, so not
+	// reading stalls the session writer on its first frame and the
+	// 2-frame outbox right after.
+	cs, ss := net.Pipe()
+	go srv.ServeConn(ss)
+	defer cs.Close()
+	br := bufio.NewReader(cs)
+	if _, err := cs.Write([]byte("subscribe q\n")); err != nil {
+		t.Fatal(err)
+	}
+	line, err := br.ReadString('\n')
+	if err != nil || !strings.HasPrefix(line, "ok subscribed q ") {
+		t.Fatalf("subscribe: %q, %v", line, err)
+	}
+	// The subscriber now goes silent.
+
+	const commits = 60
+	start := time.Now()
+	for i := 0; i < commits; i++ {
+		if _, _, err := writer.ApplyBatch([]dyncq.Update{
+			dyndb.Insert("E", dyncq.Value(i), dyncq.Value(i)),
+			dyndb.Insert("E", dyncq.Value(i), dyncq.Value(i+1)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("%d commits took %v against a stuck subscriber: commits must not stall", commits, elapsed)
+	}
+	if srv.broker.droppedFrames("q") == 0 {
+		t.Fatal("no frames dropped: outbox bound not exercised (test setup broken?)")
+	}
+
+	// The subscriber wakes up and drains: some leading delta frames,
+	// then exactly one resync, then it re-enumerates for exact state.
+	// One more commit guarantees a publish that sees the drained
+	// outbox and emits the pending resync.
+	sawResync := false
+	var resyncAt uint64
+	deadline := time.After(10 * time.Second)
+	lines := make(chan string, 64)
+	go func() {
+		for {
+			l, err := br.ReadString('\n')
+			if err != nil {
+				close(lines)
+				return
+			}
+			lines <- strings.TrimRight(l, "\n")
+		}
+	}()
+	next := 0
+	for !sawResync {
+		select {
+		case l, ok := <-lines:
+			if !ok {
+				t.Fatal("subscriber connection closed before resync")
+			}
+			if strings.HasPrefix(l, "resync q ") {
+				var dropped uint64
+				if _, err := fmt.Sscanf(l, "resync q %d %d", &resyncAt, &dropped); err != nil {
+					t.Fatalf("malformed resync %q: %v", l, err)
+				}
+				if dropped == 0 {
+					t.Fatalf("resync with zero dropped frames: %q", l)
+				}
+				sawResync = true
+			}
+		case <-time.After(200 * time.Millisecond):
+			// Keep the stream moving: each commit is another publish
+			// attempt, and the first one that finds outbox room
+			// delivers the pending resync.
+			next++
+			if _, _, err := writer.Apply(dyndb.Insert("E", 5000, dyncq.Value(next))); err != nil {
+				t.Fatal(err)
+			}
+		case <-deadline:
+			t.Fatal("no resync within deadline")
+		}
+	}
+
+	// Quiesce, then resync-recover: enumerate and verify against the
+	// server's own count (exact-state rebuild after drops).
+	finalN, finalV, err := writer.Count("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs.Write([]byte("enumerate q\n")); err != nil {
+		t.Fatal(err)
+	}
+	var header string
+	for l := range lines {
+		if strings.HasPrefix(l, "snapshot q ") {
+			header = l
+			break
+		}
+		// Skip delta frames interleaved before our snapshot response.
+	}
+	var n int
+	var v uint64
+	var arity int
+	if _, err := fmt.Sscanf(header, "snapshot q %d %d %d", &n, &v, &arity); err != nil {
+		t.Fatalf("malformed snapshot header %q: %v", header, err)
+	}
+	if v < resyncAt {
+		t.Fatalf("re-enumerate pinned version %d, older than resync point %d", v, resyncAt)
+	}
+	if v == finalV && uint64(n) != finalN {
+		t.Fatalf("re-enumerate at version %d has %d tuples, server count %d", v, n, finalN)
+	}
+}
+
+// TestServerCloseDrains: Close disconnects sessions and returns; a
+// session blocked on a stuck peer does not hold Close past its drain
+// timeout budget.
+func TestServerCloseDrains(t *testing.T) {
+	srv := New(Options{DrainTimeout: 2 * time.Second})
+	c := pipeClient(t, srv)
+	if err := c.Register("q", "Q(x) :- S(x)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Subscribe("q"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := srv.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("close took %v", elapsed)
+	}
+	if srv.SessionCount() != 0 {
+		t.Fatalf("%d sessions survive close", srv.SessionCount())
+	}
+	// Subscriptions were reaped with the sessions: capture is off.
+	if !captureInactive(srv, "q") {
+		t.Fatal("delta capture still active after close")
+	}
+}
+
+// captureInactive probes whether a fresh CaptureDeltas succeeds (and
+// undoes it) — i.e. no capture was left behind.
+func captureInactive(srv *Server, name string) bool {
+	if err := srv.ws.CaptureDeltas(name, func(dyncq.DeltaEvent) {}); err != nil {
+		return false
+	}
+	srv.ws.StopDeltaCapture(name)
+	return true
+}
+
+// TestDisconnectReapsSubscriptions: an abrupt client disconnect (no
+// quit) reaps its subscriptions; the last subscriber leaving stops
+// delta capture.
+func TestDisconnectReapsSubscriptions(t *testing.T) {
+	srv := newTestServer(t, Options{})
+	c1 := pipeClient(t, srv)
+	if err := c1.Register("q", "Q(x) :- S(x)"); err != nil {
+		t.Fatal(err)
+	}
+	c2 := pipeClient(t, srv)
+	if _, err := c1.Subscribe("q"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Subscribe("q"); err != nil {
+		t.Fatal(err)
+	}
+	c2.Close()
+	c1.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for !captureInactive(srv, "q") {
+		if time.Now().After(deadline) {
+			t.Fatal("capture still active after both subscribers disconnected")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

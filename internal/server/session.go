@@ -1,0 +1,320 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"dyncq/pkg/dyncq"
+)
+
+// session is one client connection: a reader goroutine parsing and
+// dispatching commands, and a writer goroutine draining the bounded
+// outbox. Command responses go through send (blocking — natural
+// backpressure on the client's own requests); broker deltas go through
+// trySend (non-blocking — a slow subscriber never stalls a commit).
+// Frames are whole []byte blocks, so responses and asynchronous deltas
+// interleave only at frame boundaries.
+type session struct {
+	srv  *Server
+	conn net.Conn
+	out  chan []byte
+	done chan struct{}
+
+	closeOnce sync.Once
+
+	// subs is this session's active subscriptions, guarded by
+	// Server.subMu (all subscription topology shares that one lock).
+	subs map[string]*subscriber
+
+	// flushed is closed by the writer when it encounters the nil
+	// sentinel frame: every frame enqueued before it has been written
+	// to the connection. Used once, for the farewell on quit.
+	flushed chan struct{}
+
+	// Batch state (reader goroutine only).
+	inBatch  bool
+	pending  []dyncq.Update
+	batchErr error
+}
+
+func newSession(srv *Server, conn net.Conn) *session {
+	return &session{
+		srv:     srv,
+		conn:    conn,
+		out:     make(chan []byte, srv.opt.OutboxFrames),
+		done:    make(chan struct{}),
+		flushed: make(chan struct{}),
+		subs:    make(map[string]*subscriber),
+	}
+}
+
+// run services the connection until the client quits, the connection
+// drops, or the server shuts down. Blocking; callers spawn it.
+func (s *session) run() {
+	defer s.close()
+	go s.writer()
+	sc := bufio.NewScanner(s.conn)
+	sc.Buffer(make([]byte, 0, 64*1024), s.srv.opt.MaxLine)
+	for sc.Scan() {
+		line := strings.TrimRight(sc.Text(), "\r")
+		if line == "" {
+			continue
+		}
+		if !s.dispatch(line) {
+			return
+		}
+	}
+}
+
+// writer drains the outbox onto the connection. A write error or
+// timeout tears the session down; in-flight frames are discarded.
+func (s *session) writer() {
+	for {
+		select {
+		case <-s.done:
+			return
+		case frame := <-s.out:
+			if frame == nil {
+				close(s.flushed) // quit sentinel: everything before it is on the wire
+				continue
+			}
+			if s.srv.opt.WriteTimeout > 0 {
+				s.conn.SetWriteDeadline(time.Now().Add(s.srv.opt.WriteTimeout))
+			}
+			if _, err := s.conn.Write(frame); err != nil {
+				s.close()
+				return
+			}
+		}
+	}
+}
+
+// send enqueues a command response, blocking until the outbox has
+// room. Returns false when the session is closed.
+func (s *session) send(frame []byte) bool {
+	select {
+	case s.out <- frame:
+		return true
+	case <-s.done:
+		return false
+	}
+}
+
+// trySend enqueues a broker frame without blocking: the commit path
+// calls this with the workspace write lock held, so a full outbox
+// drops the frame (the broker records the lag) rather than stalling
+// every other client's updates. A closed session reports success —
+// the frame is moot and the subscription is about to be reaped.
+//
+//dyncq:hot
+func (s *session) trySend(frame []byte) bool {
+	select {
+	case <-s.done:
+		return true
+	case s.out <- frame:
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *session) sendLine(line string) bool { return s.send([]byte(line + "\n")) }
+
+func (s *session) ok(format string, args ...any) bool {
+	return s.sendLine("ok " + fmt.Sprintf(format, args...))
+}
+
+func (s *session) err(e error) bool {
+	return s.sendLine("err " + sanitizeErr(e))
+}
+
+func (s *session) errf(format string, args ...any) bool {
+	return s.err(fmt.Errorf(format, args...))
+}
+
+// close tears the session down exactly once: wakes the writer, closes
+// the connection (unblocking the reader), and unhooks every
+// subscription from the broker. Safe from any goroutine.
+func (s *session) close() {
+	s.closeOnce.Do(func() {
+		close(s.done)
+		s.conn.Close()
+		s.srv.dropSession(s)
+	})
+}
+
+// dispatch handles one request line. Returns false to end the session.
+func (s *session) dispatch(line string) bool {
+	if s.inBatch {
+		return s.dispatchBatch(line)
+	}
+	cmd, rest, _ := strings.Cut(line, " ")
+	switch cmd {
+	case "register":
+		name, query, okSplit := strings.Cut(rest, " ")
+		if !okSplit || name == "" || strings.TrimSpace(query) == "" {
+			return s.errf("usage: register <name> <query>")
+		}
+		h, err := s.srv.ws.Register(name, query)
+		if err != nil {
+			return s.err(err)
+		}
+		return s.ok("registered %s %s %d", name, h.Strategy(), s.srv.ws.Version())
+	case "unregister":
+		name := strings.TrimSpace(rest)
+		if name == "" {
+			return s.errf("usage: unregister <name>")
+		}
+		if !s.srv.unregister(name) {
+			return s.errf("unknown query %q", name)
+		}
+		return s.ok("unregistered %s", name)
+	case "apply":
+		u, err := dyncq.ParseUpdate(strings.TrimSpace(rest))
+		if err != nil {
+			return s.err(err)
+		}
+		changed, err := s.srv.ws.Apply(u)
+		if err != nil {
+			return s.err(err)
+		}
+		n := 0
+		if changed {
+			n = 1
+		}
+		return s.ok("applied %d %d", n, s.srv.ws.Version())
+	case "begin":
+		s.inBatch = true
+		s.pending = s.pending[:0]
+		s.batchErr = nil
+		return s.ok("begin")
+	case "commit", "abort":
+		return s.errf("%s outside begin", cmd)
+	case "count":
+		h, bad := s.handleArg(rest, "count")
+		if h == nil {
+			return bad
+		}
+		return s.ok("count %s %d %d", h.Name(), h.Count(), s.srv.ws.Version())
+	case "answer":
+		h, bad := s.handleArg(rest, "answer")
+		if h == nil {
+			return bad
+		}
+		return s.ok("answer %s %t %d", h.Name(), h.Answer(), s.srv.ws.Version())
+	case "enumerate":
+		h, bad := s.handleArg(rest, "enumerate")
+		if h == nil {
+			return bad
+		}
+		// Pin an MVCC snapshot and encode it with no lock held: a slow
+		// client draining a huge result never blocks ApplyBatch.
+		return s.send(encodeSnapshot(h.Snapshot()))
+	case "subscribe":
+		name := strings.TrimSpace(rest)
+		if name == "" {
+			return s.errf("usage: subscribe <name>")
+		}
+		version, err := s.srv.subscribe(s, name)
+		if err != nil {
+			return s.err(err)
+		}
+		return s.ok("subscribed %s %d", name, version)
+	case "unsubscribe":
+		name := strings.TrimSpace(rest)
+		if name == "" {
+			return s.errf("usage: unsubscribe <name>")
+		}
+		if !s.srv.unsubscribe(s, name) {
+			return s.errf("not subscribed to %q", name)
+		}
+		return s.ok("unsubscribed %s", name)
+	case "queries":
+		names := make([]string, 0, 8)
+		for _, h := range s.srv.ws.Handles() {
+			names = append(names, h.Name())
+		}
+		return s.ok("queries %s", strings.Join(names, ","))
+	case "version":
+		return s.ok("version %d", s.srv.ws.Version())
+	case "ping":
+		return s.ok("pong")
+	case "quit":
+		s.farewell()
+		return false
+	default:
+		return s.errf("unknown command %q", cmd)
+	}
+}
+
+// dispatchBatch handles lines between begin and commit/abort: bare
+// ±R(t) update lines accumulate without per-line responses (that is
+// the batch streaming efficiency); the first malformed line poisons
+// the batch, reported at commit.
+func (s *session) dispatchBatch(line string) bool {
+	switch line {
+	case "commit":
+		s.inBatch = false
+		if s.batchErr != nil {
+			s.pending = s.pending[:0]
+			return s.errf("batch aborted: %v", s.batchErr)
+		}
+		n, err := s.srv.ws.ApplyBatch(s.pending)
+		s.pending = s.pending[:0]
+		if err != nil {
+			return s.err(err)
+		}
+		return s.ok("committed %d %d", n, s.srv.ws.Version())
+	case "abort":
+		s.inBatch = false
+		s.pending = s.pending[:0]
+		s.batchErr = nil
+		return s.ok("aborted")
+	case "quit":
+		s.farewell()
+		return false
+	}
+	if s.batchErr != nil {
+		return true // already poisoned; keep consuming until commit/abort
+	}
+	u, err := dyncq.ParseUpdate(line)
+	if err != nil {
+		s.batchErr = err
+		return true
+	}
+	s.pending = append(s.pending, u)
+	return true
+}
+
+// handleArg resolves the single query-name argument of count/answer/
+// enumerate. On failure the session has already been answered; the
+// bool is the dispatch return value.
+func (s *session) handleArg(rest, cmd string) (*dyncq.Handle, bool) {
+	name := strings.TrimSpace(rest)
+	if name == "" {
+		return nil, s.errf("usage: %s <name>", cmd)
+	}
+	h := s.srv.ws.Handle(name)
+	if h == nil {
+		return nil, s.errf("unknown query %q", name)
+	}
+	return h, true
+}
+
+// farewell sends the bye line and waits (bounded) until the writer
+// has put it on the wire, so the deferred close doesn't race the
+// client's read of the goodbye.
+func (s *session) farewell() {
+	if !s.sendLine("bye") || !s.send(nil) {
+		return
+	}
+	select {
+	case <-s.flushed:
+	case <-s.done:
+	case <-time.After(500 * time.Millisecond):
+	}
+}

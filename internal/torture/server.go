@@ -1,0 +1,335 @@
+package torture
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"dyncq/internal/server"
+	"dyncq/internal/workload"
+	"dyncq/pkg/dyncq"
+)
+
+// This file holds the server category: seeded multi-client sessions
+// against the wire-protocol front door, checked against the same
+// oracle as the in-process scenarios. All connections are net.Pipe —
+// in-memory, synchronous, no real sockets — keeping the package's
+// no-network rule: a scenario's verdict is a pure function of its
+// seed. (The bounded drains below wait for events the protocol
+// guarantees — one delta frame per committed version — so the waits
+// bound patience, not the verdict.)
+
+// serverHarness is one server plus its pipe-connected clients.
+type serverHarness struct {
+	srv     *server.Server
+	clients []*server.Client
+}
+
+func newServerHarness(opt server.Options, nClients int) *serverHarness {
+	h := &serverHarness{srv: server.New(opt)}
+	for i := 0; i < nClients; i++ {
+		cs, ss := net.Pipe()
+		go h.srv.ServeConn(ss)
+		h.clients = append(h.clients, server.NewClient(cs))
+	}
+	return h
+}
+
+func (h *serverHarness) close() {
+	for _, c := range h.clients {
+		c.Close()
+	}
+	h.srv.Close()
+}
+
+// drainAll reads c's delta stream in one pass until every named query
+// has reached version target, returning frames and concatenated raw
+// bytes per query. One pass matters: frames of the watched queries
+// interleave on the connection, and a per-query drain would discard
+// the others' frames.
+func drainAll(c *server.Client, names []string, target uint64) (map[string][]server.Delta, map[string][]byte, error) {
+	frames := make(map[string][]server.Delta, len(names))
+	raw := make(map[string][]byte, len(names))
+	pendings := make(map[string]bool, len(names))
+	for _, n := range names {
+		pendings[n] = true
+	}
+	deadline := time.After(30 * time.Second)
+	for len(pendings) > 0 {
+		select {
+		case d, ok := <-c.Deltas():
+			if !ok {
+				return nil, nil, fmt.Errorf("delta stream closed before version %d (still pending: %v)", target, pendings)
+			}
+			if !pendings[d.Query] {
+				continue
+			}
+			frames[d.Query] = append(frames[d.Query], d)
+			raw[d.Query] = append(raw[d.Query], d.Raw...)
+			if d.Version >= target {
+				delete(pendings, d.Query)
+			}
+		case <-deadline:
+			return nil, nil, fmt.Errorf("no frame at version %d within deadline (still pending: %v)", target, pendings)
+		}
+	}
+	return frames, raw, nil
+}
+
+// drainTo is drainAll for a single query.
+func drainTo(c *server.Client, name string, target uint64) ([]server.Delta, []byte, error) {
+	frames, raw, err := drainAll(c, []string{name}, target)
+	if err != nil {
+		return nil, nil, err
+	}
+	return frames[name], raw[name], nil
+}
+
+// replayDeltas folds a delta sequence over a base tuple set.
+func replayDeltas(base [][]dyncq.Value, frames []server.Delta, skipThrough uint64) (map[string]bool, error) {
+	state := make(map[string]bool, len(base))
+	for _, t := range base {
+		state[fmt.Sprint(t)] = true
+	}
+	for _, d := range frames {
+		if d.Resync {
+			return nil, fmt.Errorf("unexpected resync at version %d", d.Version)
+		}
+		if d.Version <= skipThrough {
+			continue
+		}
+		for _, t := range d.Added {
+			k := fmt.Sprint(t)
+			if state[k] {
+				return nil, fmt.Errorf("version %d adds duplicate %v", d.Version, t)
+			}
+			state[k] = true
+		}
+		for _, t := range d.Removed {
+			k := fmt.Sprint(t)
+			if !state[k] {
+				return nil, fmt.Errorf("version %d removes absent %v", d.Version, t)
+			}
+			delete(state, k)
+		}
+	}
+	return state, nil
+}
+
+func matchState(state map[string]bool, want [][]dyncq.Value, where string) error {
+	if len(state) != len(want) {
+		return fmt.Errorf("%s: replayed state has %d tuples, want %d", where, len(state), len(want))
+	}
+	for _, t := range want {
+		if !state[fmt.Sprint(t)] {
+			return fmt.Errorf("%s: tuple %v missing from replayed state", where, t)
+		}
+	}
+	return nil
+}
+
+func serverScenarios() []Scenario {
+	return []Scenario{
+		{
+			Category: "server", Name: "multi-client-oracle",
+			Brief: "two subscribers on separate connections see byte-identical delta streams matching the oracle",
+			Run: func(seed int64) error {
+				h := newServerHarness(server.Options{OutboxFrames: 4096}, 3)
+				defer h.close()
+				writer, subA, subB := h.clients[0], h.clients[1], h.clients[2]
+
+				o := newOracle()
+				for _, nq := range queryPool[:3] { // star (core), src (core), hard (ivm)
+					if err := writer.Register(nq.name, nq.text); err != nil {
+						return fmt.Errorf("register %s: %v", nq.name, err)
+					}
+					o.register(nq.name, mustParse(nq.text))
+				}
+				watch := []string{"star", "hard"}
+				for _, c := range []*server.Client{subA, subB} {
+					for _, name := range watch {
+						if _, err := c.Subscribe(name); err != nil {
+							return fmt.Errorf("subscribe %s: %v", name, err)
+						}
+					}
+				}
+				baseA := make(map[string]*server.Snapshot)
+				for _, name := range watch {
+					snap, err := subA.Enumerate(name)
+					if err != nil {
+						return fmt.Errorf("enumerate %s: %v", name, err)
+					}
+					baseA[name] = snap
+				}
+
+				cfg := workload.TortureConfig{Seed: seed, Domain: 24, Updates: 1200, PDelete: 0.4, ZipfS: 1.2, ZipfV: 1}
+				stream := cfg.Stream(tortureSchema)
+				rng := rngFor(seed, "server-batches")
+				var final uint64
+				for i := 0; i < len(stream); {
+					end := i + 1 + rng.Intn(80)
+					if end > len(stream) {
+						end = len(stream)
+					}
+					var err error
+					if _, final, err = writer.ApplyBatch(stream[i:end]); err != nil {
+						return fmt.Errorf("batch [%d:%d): %v", i, end, err)
+					}
+					o.apply(stream[i:end])
+					i = end
+				}
+
+				framesA, rawA, err := drainAll(subA, watch, final)
+				if err != nil {
+					return fmt.Errorf("subscriber A: %v", err)
+				}
+				_, rawB, err := drainAll(subB, watch, final)
+				if err != nil {
+					return fmt.Errorf("subscriber B: %v", err)
+				}
+				for _, name := range watch {
+					if string(rawA[name]) != string(rawB[name]) {
+						return fmt.Errorf("%s: delta streams differ across subscribers (%d vs %d bytes)", name, len(rawA[name]), len(rawB[name]))
+					}
+					state, err := replayDeltas(baseA[name].Tuples, framesA[name], baseA[name].Version)
+					if err != nil {
+						return fmt.Errorf("%s: %v", name, err)
+					}
+					snap, err := subB.Enumerate(name)
+					if err != nil {
+						return fmt.Errorf("re-enumerate %s: %v", name, err)
+					}
+					if err := matchState(state, snap.Tuples, name); err != nil {
+						return err
+					}
+				}
+				// Engine-level oracle check on the served workspace.
+				return o.check(h.srv.Workspace(), "final")
+			},
+		},
+		{
+			Category: "server", Name: "disconnect-mid-stream",
+			Brief: "an abrupt subscriber disconnect mid-churn leaves the writer and surviving subscribers intact",
+			Run: func(seed int64) error {
+				h := newServerHarness(server.Options{OutboxFrames: 4096}, 3)
+				defer h.close()
+				writer, survivor, doomed := h.clients[0], h.clients[1], h.clients[2]
+
+				o := newOracle()
+				nq := queryPool[0]
+				if err := writer.Register(nq.name, nq.text); err != nil {
+					return err
+				}
+				o.register(nq.name, mustParse(nq.text))
+				for _, c := range []*server.Client{survivor, doomed} {
+					if _, err := c.Subscribe(nq.name); err != nil {
+						return err
+					}
+				}
+				base, err := survivor.Enumerate(nq.name)
+				if err != nil {
+					return err
+				}
+
+				cfg := workload.TortureConfig{Seed: seed, Domain: 20, Updates: 900, PDelete: 0.35, ZipfS: 1.2, ZipfV: 1}
+				stream := cfg.Stream(tortureSchema)
+				rng := rngFor(seed, "server-disconnect")
+				cut := len(stream)/3 + rng.Intn(len(stream)/3)
+				var final uint64
+				killed := false
+				for i := 0; i < len(stream); {
+					end := i + 1 + rng.Intn(60)
+					if end > len(stream) {
+						end = len(stream)
+					}
+					if !killed && i >= cut {
+						doomed.Close() // mid-stream, no goodbye
+						killed = true
+					}
+					if _, final, err = writer.ApplyBatch(stream[i:end]); err != nil {
+						return fmt.Errorf("batch after disconnect: %v", err)
+					}
+					o.apply(stream[i:end])
+					i = end
+				}
+
+				frames, _, err := drainTo(survivor, nq.name, final)
+				if err != nil {
+					return fmt.Errorf("survivor: %v", err)
+				}
+				state, err := replayDeltas(base.Tuples, frames, base.Version)
+				if err != nil {
+					return err
+				}
+				snap, err := survivor.Enumerate(nq.name)
+				if err != nil {
+					return err
+				}
+				if err := matchState(state, snap.Tuples, nq.name); err != nil {
+					return err
+				}
+				return o.check(h.srv.Workspace(), "final")
+			},
+		},
+		{
+			Category: "server", Name: "register-churn",
+			Brief: "register/subscribe/unregister churn across clients keeps state and subscriptions consistent",
+			Run: func(seed int64) error {
+				h := newServerHarness(server.Options{OutboxFrames: 4096}, 2)
+				defer h.close()
+				admin, watcher := h.clients[0], h.clients[1]
+
+				o := newOracle()
+				cfg := workload.TortureConfig{Seed: seed, Domain: 16, Updates: 150, PDelete: 0.3, ZipfS: 1.2, ZipfV: 1}
+				rng := rngFor(seed, "server-churn")
+				for round := 0; round < 6; round++ {
+					nq := queryPool[rng.Intn(len(queryPool))]
+					if err := admin.Register(nq.name, nq.text); err != nil {
+						return fmt.Errorf("round %d register %s: %v", round, nq.name, err)
+					}
+					o.register(nq.name, mustParse(nq.text))
+					if _, err := watcher.Subscribe(nq.name); err != nil {
+						return fmt.Errorf("round %d subscribe: %v", round, err)
+					}
+					base, err := watcher.Enumerate(nq.name)
+					if err != nil {
+						return err
+					}
+					stream := workload.TortureConfig{Seed: seed + int64(round), Domain: cfg.Domain,
+						Updates: cfg.Updates, PDelete: cfg.PDelete, ZipfS: cfg.ZipfS, ZipfV: cfg.ZipfV}.Stream(tortureSchema)
+					var final uint64
+					if _, final, err = admin.ApplyBatch(stream); err != nil {
+						return fmt.Errorf("round %d batch: %v", round, err)
+					}
+					o.apply(stream)
+					frames, _, err := drainTo(watcher, nq.name, final)
+					if err != nil {
+						return fmt.Errorf("round %d: %v", round, err)
+					}
+					state, err := replayDeltas(base.Tuples, frames, base.Version)
+					if err != nil {
+						return fmt.Errorf("round %d: %v", round, err)
+					}
+					snap, err := watcher.Enumerate(nq.name)
+					if err != nil {
+						return err
+					}
+					if err := matchState(state, snap.Tuples, nq.name); err != nil {
+						return fmt.Errorf("round %d: %v", round, err)
+					}
+					if err := o.check(h.srv.Workspace(), fmt.Sprintf("round %d", round)); err != nil {
+						return err
+					}
+					// Unregister while still subscribed: the server must
+					// sever the subscription so the NEXT round's
+					// re-register + re-subscribe is not a duplicate.
+					if err := admin.Unregister(nq.name); err != nil {
+						return fmt.Errorf("round %d unregister: %v", round, err)
+					}
+					o.unregister(nq.name)
+				}
+				return nil
+			},
+		},
+	}
+}

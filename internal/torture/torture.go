@@ -41,7 +41,7 @@ type Scenario struct {
 
 // Categories lists the matrix's categories in canonical order.
 func Categories() []string {
-	return []string{"parse", "eval", "error", "lifecycle", "concurrency", "fanout"}
+	return []string{"parse", "eval", "error", "lifecycle", "concurrency", "fanout", "server"}
 }
 
 // All returns every scenario of the matrix, grouped by category in
@@ -54,6 +54,7 @@ func All() []Scenario {
 	out = append(out, lifecycleScenarios()...)
 	out = append(out, concurrencyScenarios()...)
 	out = append(out, fanoutScenarios()...)
+	out = append(out, serverScenarios()...)
 	return out
 }
 

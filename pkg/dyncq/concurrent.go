@@ -205,14 +205,24 @@ func (c *ConcurrentSession) ActiveDomainSize() int {
 	return c.s.ActiveDomainSize()
 }
 
-// View runs f with shared (read-locked) access to the session and the
-// version the snapshot pins: every read f performs sees the same
-// committed state. f must not call the ConcurrentSession's own methods
-// (the lock is not reentrant — a blocked writer between the two
-// acquisitions would deadlock) and must not retain s or the yielded
-// tuples past its return.
-func (c *ConcurrentSession) View(f func(s *Session, version uint64)) {
+// View runs f against an MVCC snapshot of the session's query, pinned
+// at one committed version: every read f performs sees that one state.
+// The snapshot is materialised copy-on-pin under a brief read lock and
+// the lock is RELEASED before f runs — readers never block writers, and
+// f may freely call the ConcurrentSession's own methods (writers it
+// invokes commit versions the pinned snapshot simply does not observe).
+// The snapshot stays valid past f's return.
+func (c *ConcurrentSession) View(f func(s *QuerySnapshot, version uint64)) {
+	snap := c.Snapshot()
+	f(snap, snap.Version())
+}
+
+// Snapshot pins the query's result at the latest committed version (see
+// Handle.Snapshot): the copy is taken under a brief read lock, and the
+// returned snapshot is read lock-free. Use it instead of Enumerate when
+// the consumer is slow — a pinned enumeration never stalls writers.
+func (c *ConcurrentSession) Snapshot() *QuerySnapshot {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	f(c.s, c.s.ws.Version()) //dyncq:allow lockorder View's documented contract: f must not call locking methods
+	return c.s.h.Snapshot()
 }

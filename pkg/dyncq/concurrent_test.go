@@ -127,7 +127,7 @@ func TestConcurrentSnapshotReaders(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for !done.Load() {
-				cs.View(func(s *Session, version uint64) {
+				cs.View(func(s *QuerySnapshot, version uint64) {
 					if version >= uint64(len(wantAt)) {
 						t.Errorf("snapshot at version %d, but only %d commits exist", version, len(wantAt)-1)
 						return
@@ -187,7 +187,7 @@ func TestConcurrentShardedWriters(t *testing.T) {
 		go func() {
 			defer readerWG.Done()
 			for !done.Load() {
-				cs.View(func(s *Session, _ uint64) {
+				cs.View(func(s *QuerySnapshot, _ uint64) {
 					if got, want := uint64(len(s.Tuples())), s.Count(); got != want {
 						t.Errorf("reader saw %d tuples but count %d", got, want)
 					}

@@ -1,0 +1,384 @@
+package dyncq
+
+import (
+	"fmt"
+	"sort"
+
+	"dyncq/internal/tuplekey"
+)
+
+// This file implements the MVCC read side of the workspace and the
+// per-query delta export feeding the serving layer (internal/server).
+//
+// Snapshots are copy-on-pin: pinning materialises the pinned queries'
+// results (and the store's summary statistics) into immutable buffers
+// under a brief read lock, then releases it. A reader iterating a
+// snapshot therefore NEVER blocks ApplyBatch — the paper's update
+// procedure keeps running while an arbitrarily slow enumeration walks a
+// consistent past state. The price is one result copy per pin; the
+// alternative (retained generations inside the maintenance structures)
+// would tax every update for the benefit of occasional readers, which
+// inverts the paper's cost model — updates are the hot path.
+//
+// Delta capture is the push half: a registered hook observes, per
+// committed version, exactly which tuples each query's result gained
+// and lost. The workspace computes the delta generically (a shadow
+// result diffed against the backend's enumeration after each commit),
+// so every strategy — core, IVM, recompute — exports deltas without
+// per-backend plumbing.
+
+// QuerySnapshot is one query's result pinned at one committed version.
+// It is immutable and safe for concurrent use by any number of
+// goroutines; it never blocks or observes later writers.
+type QuerySnapshot struct {
+	name    string
+	version uint64
+	epoch   uint64
+	card    int
+	adom    int
+	arity   int
+	n       int
+	flat    []Value // n×arity values, row-major
+}
+
+// Name returns the query's registration name.
+func (s *QuerySnapshot) Name() string { return s.name }
+
+// Version returns the workspace version the snapshot pinned.
+func (s *QuerySnapshot) Version() uint64 { return s.version }
+
+// StoreEpoch returns the shared store's epoch at the pinned version.
+func (s *QuerySnapshot) StoreEpoch() uint64 { return s.epoch }
+
+// Cardinality returns |D| of the shared store at the pinned version.
+func (s *QuerySnapshot) Cardinality() int { return s.card }
+
+// ActiveDomainSize returns n = |adom(D)| at the pinned version.
+func (s *QuerySnapshot) ActiveDomainSize() int { return s.adom }
+
+// Arity returns the width of the result tuples (0 for boolean queries).
+func (s *QuerySnapshot) Arity() int { return s.arity }
+
+// Count returns |ϕ(D)| at the pinned version.
+func (s *QuerySnapshot) Count() uint64 { return uint64(s.n) }
+
+// Len returns the number of result tuples (int-typed Count).
+func (s *QuerySnapshot) Len() int { return s.n }
+
+// Answer reports whether ϕ(D) was nonempty at the pinned version.
+func (s *QuerySnapshot) Answer() bool { return s.n > 0 }
+
+// Tuple returns the i-th result tuple as a window into the snapshot's
+// buffer. The window is immutable; do not modify it.
+func (s *QuerySnapshot) Tuple(i int) []Value {
+	if s.arity == 0 {
+		return nil
+	}
+	return s.flat[i*s.arity : (i+1)*s.arity]
+}
+
+// Enumerate streams the pinned result in the order the backend
+// enumerated it at pin time. Unlike Handle.Enumerate it holds no lock:
+// yield may take arbitrarily long, apply updates, or call any workspace
+// method — concurrent writers proceed regardless. The yielded slice is
+// a window into the snapshot's buffer, valid (and immutable) for the
+// snapshot's whole lifetime.
+func (s *QuerySnapshot) Enumerate(yield func(tuple []Value) bool) {
+	if s.arity == 0 {
+		for i := 0; i < s.n; i++ {
+			if !yield(nil) {
+				return
+			}
+		}
+		return
+	}
+	for i := 0; i < s.n; i++ {
+		if !yield(s.flat[i*s.arity : (i+1)*s.arity]) {
+			return
+		}
+	}
+}
+
+// Tuples returns the pinned result as freshly allocated tuples.
+func (s *QuerySnapshot) Tuples() [][]Value {
+	out := make([][]Value, 0, s.n)
+	s.Enumerate(func(t []Value) bool {
+		out = append(out, append([]Value(nil), t...))
+		return true
+	})
+	return out
+}
+
+// snapshotLocked materialises the handle's current result. Callers hold
+// at least the workspace read lock.
+func (h *Handle) snapshotLocked() *QuerySnapshot {
+	w := h.ws
+	s := &QuerySnapshot{
+		name:    h.name,
+		version: w.version,
+		epoch:   w.store.Epoch(),
+		card:    w.store.Cardinality(),
+		adom:    w.store.ActiveDomainSize(),
+		arity:   h.query.Arity(),
+	}
+	if s.arity == 0 {
+		// Boolean query: the result is {()} or ∅; do not rely on the
+		// backend enumerating empty tuples.
+		s.n = int(h.back.Count())
+		return s
+	}
+	h.back.Enumerate(func(t []Value) bool {
+		s.flat = append(s.flat, t...)
+		return true
+	})
+	s.n = len(s.flat) / s.arity
+	return s
+}
+
+// Snapshot pins this query's result at the latest committed version:
+// the result is copied out under a brief read lock, and the returned
+// snapshot is read without any lock at all. Use it whenever the
+// consumer of an enumeration is slow (a network peer, a report writer):
+// Handle.Enumerate holds the read lock for its whole run and therefore
+// stalls writers, a pinned snapshot never does.
+func (h *Handle) Snapshot() *QuerySnapshot {
+	h.ws.mu.RLock()
+	defer h.ws.mu.RUnlock()
+	return h.snapshotLocked()
+}
+
+// WorkspaceSnapshot pins several queries' results at ONE committed
+// version: all pinned queries observed the same committed prefix of the
+// update stream. Like QuerySnapshot it is immutable, lock-free, and
+// safe for concurrent use.
+type WorkspaceSnapshot struct {
+	version uint64
+	epoch   uint64
+	card    int
+	adom    int
+	order   []string
+	queries map[string]*QuerySnapshot
+}
+
+// Version returns the pinned workspace version.
+func (s *WorkspaceSnapshot) Version() uint64 { return s.version }
+
+// StoreEpoch returns the shared store's epoch at the pinned version.
+func (s *WorkspaceSnapshot) StoreEpoch() uint64 { return s.epoch }
+
+// Cardinality returns |D| of the shared store at the pinned version.
+func (s *WorkspaceSnapshot) Cardinality() int { return s.card }
+
+// ActiveDomainSize returns n = |adom(D)| at the pinned version.
+func (s *WorkspaceSnapshot) ActiveDomainSize() int { return s.adom }
+
+// Queries returns the pinned query names in registration order.
+func (s *WorkspaceSnapshot) Queries() []string { return append([]string(nil), s.order...) }
+
+// Query returns the named query's pinned snapshot, or nil when the
+// snapshot does not cover that name.
+func (s *WorkspaceSnapshot) Query(name string) *QuerySnapshot { return s.queries[name] }
+
+// Snapshot pins the named queries (all registered queries when none are
+// given) at the latest committed version. It panics on a name with no
+// registered query, exactly as WorkspaceView reads do.
+func (w *Workspace) Snapshot(names ...string) *WorkspaceSnapshot {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	s := &WorkspaceSnapshot{
+		version: w.version,
+		epoch:   w.store.Epoch(),
+		card:    w.store.Cardinality(),
+		adom:    w.store.ActiveDomainSize(),
+		queries: make(map[string]*QuerySnapshot),
+	}
+	if len(names) == 0 {
+		for _, h := range w.order {
+			s.order = append(s.order, h.name)
+			s.queries[h.name] = h.snapshotLocked()
+		}
+		return s
+	}
+	for _, name := range names {
+		h := w.handles[name]
+		if h == nil {
+			panic(fmt.Sprintf("dyncq: no query %q registered in this workspace", name))
+		}
+		if _, dup := s.queries[name]; dup {
+			continue
+		}
+		s.order = append(s.order, name)
+		s.queries[name] = h.snapshotLocked()
+	}
+	return s
+}
+
+// ---- delta capture ----
+
+// DeltaEvent is one query's result change at one committed version: the
+// tuples the result gained and lost relative to the previous version.
+// Added and Removed are disjoint, each sorted in lexicographic tuple
+// order — so the event's rendering is deterministic, byte for byte,
+// regardless of worker count or backend enumeration order. Both may be
+// empty: every committed version emits exactly one event per captured
+// query (subscribers track the committed version in lockstep and an
+// unchanged result is itself information).
+type DeltaEvent struct {
+	// Query is the registration name.
+	Query string
+	// Version is the committed workspace version the event describes.
+	Version uint64
+	// Epoch is the shared store's epoch at that version.
+	Epoch uint64
+	// Added and Removed hold the gained and lost result tuples. The
+	// slices (and their tuples) are owned by the hook once delivered.
+	Added   [][]Value
+	Removed [][]Value
+}
+
+// deltaCapture is the per-handle shadow state behind CaptureDeltas: the
+// previous result keyed by tuple, diffed against the backend's
+// enumeration after every commit. gen stamps the current diff pass so
+// one enumeration classifies kept/added and one range sweep finds the
+// removed.
+type deltaCapture struct {
+	hook    func(DeltaEvent)
+	shadow  *tuplekey.Map[uint64]
+	gen     uint64
+	boolean bool
+	prev    bool // boolean queries: previous answer bit
+}
+
+// CaptureDeltas starts per-commit delta capture for the named query:
+// after every committed version change (Apply, ApplyBatch, Load — any
+// write path), hook receives exactly one DeltaEvent describing how the
+// query's result changed. The hook runs inside the commit, with the
+// workspace write lock held: it MUST NOT block and MUST NOT call any
+// workspace, handle, or session method (the serving layer's broker
+// satisfies this by handing pre-encoded frames to per-connection
+// buffers with a non-blocking send). Hooks of different queries may run
+// concurrently (the capture fan-out uses the workspace worker pool);
+// one query's hook is never invoked concurrently with itself and
+// observes strictly increasing versions. Only one capture per query may
+// be active; Unregister drops it.
+func (w *Workspace) CaptureDeltas(name string, hook func(DeltaEvent)) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	h := w.handles[name]
+	if h == nil {
+		return fmt.Errorf("dyncq: no query %q registered in this workspace", name)
+	}
+	if h.capture != nil {
+		return fmt.Errorf("dyncq: query %q already has an active delta capture", name)
+	}
+	if hook == nil {
+		return fmt.Errorf("dyncq: nil delta hook for query %q", name)
+	}
+	c := &deltaCapture{hook: hook, boolean: h.query.Arity() == 0}
+	if c.boolean {
+		c.prev = h.back.Answer()
+	} else {
+		c.shadow = tuplekey.NewMap[uint64](int(h.back.Count()))
+		h.back.Enumerate(func(t []Value) bool {
+			c.shadow.Put(append([]Value(nil), t...), 0)
+			return true
+		})
+	}
+	h.capture = c
+	return nil
+}
+
+// StopDeltaCapture stops delta capture for the named query, reporting
+// whether a capture was active. Events already delivered stay
+// delivered; no further events follow.
+func (w *Workspace) StopDeltaCapture(name string) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	h := w.handles[name]
+	if h == nil || h.capture == nil {
+		return false
+	}
+	h.capture = nil
+	return true
+}
+
+// captureDeltasLocked fans the post-commit delta diff out over every
+// captured handle, on the workspace worker pool (per-handle shadows are
+// private; backend reads over the now-quiescent store are safe
+// concurrently). Called at the end of every committed state change,
+// with exclusive access, after w.version moved.
+func (w *Workspace) captureDeltasLocked() {
+	var captured []int
+	for i, h := range w.order {
+		if h.capture != nil {
+			captured = append(captured, i)
+		}
+	}
+	if len(captured) == 0 {
+		return
+	}
+	runPool(captured, w.workers, func(i int) {
+		w.order[i].captureDelta()
+	})
+}
+
+// captureDelta diffs the handle's current result against its shadow and
+// delivers the event. One enumeration pass stamps kept tuples with the
+// new generation and collects the added ones; one sweep over the shadow
+// collects everything the result no longer contains.
+func (h *Handle) captureDelta() {
+	c := h.capture
+	ev := DeltaEvent{Query: h.name, Version: h.ws.version, Epoch: h.ws.store.Epoch()}
+	if c.boolean {
+		now := h.back.Answer()
+		if now && !c.prev {
+			ev.Added = [][]Value{nil}
+		} else if !now && c.prev {
+			ev.Removed = [][]Value{nil}
+		}
+		c.prev = now
+		c.hook(ev)
+		return
+	}
+	c.gen++
+	n := 0
+	h.back.Enumerate(func(t []Value) bool {
+		n++
+		if _, known := c.shadow.Get(t); known {
+			c.shadow.Put(t, c.gen) // existing key is kept; t is not retained
+		} else {
+			tt := append([]Value(nil), t...)
+			c.shadow.Put(tt, c.gen)
+			ev.Added = append(ev.Added, tt)
+		}
+		return true
+	})
+	if c.shadow.Len() > n {
+		c.shadow.Range(func(t []Value, gen uint64) bool {
+			if gen != c.gen {
+				ev.Removed = append(ev.Removed, t)
+			}
+			return true
+		})
+		for _, t := range ev.Removed {
+			c.shadow.Delete(t)
+		}
+	}
+	sortTuplesLex(ev.Added)
+	sortTuplesLex(ev.Removed)
+	c.hook(ev)
+}
+
+// sortTuplesLex orders tuples lexicographically — the deterministic
+// order every DeltaEvent is delivered in.
+func sortTuplesLex(ts [][]Value) {
+	sort.Slice(ts, func(i, j int) bool {
+		a, b := ts[i], ts[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+}

@@ -165,6 +165,10 @@ type Handle struct {
 	// harness. The single-update fast path is deliberately untimed.
 	maintainNS int64
 	batches    int64
+
+	// capture is the active delta export (CaptureDeltas), nil while no
+	// subscriber wants this query's per-commit deltas.
+	capture *deltaCapture
 }
 
 // Name returns the registration name.
@@ -351,6 +355,7 @@ func (w *Workspace) Unregister(name string) bool {
 	if !ok {
 		return false
 	}
+	h.capture = nil // no further delta events for a dropped query
 	delete(w.handles, name)
 	for i, o := range w.order {
 		if o == h {
@@ -622,6 +627,7 @@ func (w *Workspace) applyExclusive(u Update) (bool, error) {
 		h.back.postApplyOne(u)
 	}
 	w.version++
+	w.captureDeltasLocked()
 	return true, nil
 }
 
@@ -713,6 +719,7 @@ func (w *Workspace) applyBatchExclusive(updates []Update) (int, error) {
 		h.batches++
 	}
 	w.version++
+	w.captureDeltasLocked()
 	return len(survivors), nil
 }
 
@@ -892,6 +899,9 @@ func (w *Workspace) loadExclusive(db *dyndb.Database) error {
 		for _, h := range w.order {
 			h.back.clear(w.idx)
 		}
+		// The version advanced and the state changed (to empty):
+		// subscribers get their per-version event either way.
+		w.captureDeltasLocked()
 		return err
 	}
 	for _, rel := range db.Relations() {
@@ -928,7 +938,11 @@ func (w *Workspace) loadExclusive(db *dyndb.Database) error {
 	} else {
 		w.resetIdxLocked()
 	}
-	return w.rebuildFanOut(fail)
+	if err := w.rebuildFanOut(fail); err != nil {
+		return err // fail() already delivered the capture events
+	}
+	w.captureDeltasLocked()
+	return nil
 }
 
 // rebuildFanOut brings every backend up to date with the store's
@@ -1006,57 +1020,62 @@ func (w *Workspace) resetIdxLocked() {
 	}
 }
 
-// View runs f with shared (read-locked) snapshot access to the whole
-// workspace: every read f performs — across ALL registered queries —
-// sees the same committed state, pinned at one version. f must not call
-// any locking Workspace or Handle method (the lock is not reentrant)
-// and must not retain the WorkspaceView or yielded tuples past its
-// return.
+// View runs f against an MVCC snapshot of the whole workspace: every
+// read f performs — across ALL registered queries — sees the same
+// committed state, pinned at one version. The snapshot is materialised
+// copy-on-pin under a brief read lock and the lock is RELEASED before f
+// runs, so f may take arbitrarily long, call any workspace or handle
+// method (including writers — they commit versions the view simply does
+// not observe), and never blocks ApplyBatch. The WorkspaceView and its
+// yielded tuples stay valid (and immutable) even past f's return,
+// though idiomatic callers still treat them as scoped to the callback.
 func (w *Workspace) View(f func(v *WorkspaceView)) {
-	w.mu.RLock()
-	defer w.mu.RUnlock()
-	f(&WorkspaceView{w: w}) //dyncq:allow lockorder View's documented contract: f must not call locking methods
+	f(&WorkspaceView{snap: w.Snapshot()})
 }
 
-// WorkspaceView is the lock-free read surface View hands its callback:
-// reads address queries by registration name and all observe the one
-// pinned state. Valid only during the callback.
+// WorkspaceView is the read surface View hands its callback: a pinned
+// WorkspaceSnapshot addressed by registration name. All reads observe
+// the one pinned state, lock-free.
 type WorkspaceView struct {
-	w *Workspace
+	snap *WorkspaceSnapshot
 }
+
+// Snapshot returns the underlying pinned snapshot.
+func (v *WorkspaceView) Snapshot() *WorkspaceSnapshot { return v.snap }
 
 // Version returns the pinned version.
-func (v *WorkspaceView) Version() uint64 { return v.w.version }
+func (v *WorkspaceView) Version() uint64 { return v.snap.version }
 
 // Cardinality returns |D| of the shared store at the pinned state.
-func (v *WorkspaceView) Cardinality() int { return v.w.store.Cardinality() }
+func (v *WorkspaceView) Cardinality() int { return v.snap.card }
 
 // ActiveDomainSize returns n = |adom(D)| at the pinned state.
-func (v *WorkspaceView) ActiveDomainSize() int { return v.w.store.ActiveDomainSize() }
+func (v *WorkspaceView) ActiveDomainSize() int { return v.snap.adom }
 
-func (v *WorkspaceView) backend(name string) queryBackend {
-	h := v.w.handles[name]
-	if h == nil {
-		panic(fmt.Sprintf("dyncq: no query %q registered in this workspace", name))
+func (v *WorkspaceView) query(name string) *QuerySnapshot {
+	s := v.snap.queries[name]
+	if s == nil {
+		panic(fmt.Sprintf("dyncq: no query %q pinned in this view", name))
 	}
-	return h.back
+	return s
 }
 
 // Count returns |ϕ(D)| of the named query at the pinned state.
-func (v *WorkspaceView) Count(name string) uint64 { return v.backend(name).Count() }
+func (v *WorkspaceView) Count(name string) uint64 { return v.query(name).Count() }
 
 // Answer reports whether the named query's result is nonempty.
-func (v *WorkspaceView) Answer(name string) bool { return v.backend(name).Answer() }
+func (v *WorkspaceView) Answer(name string) bool { return v.query(name).Answer() }
 
-// Enumerate streams the named query's result at the pinned state, with
-// the uniform slice contract (callee-owned; copy to retain).
+// Enumerate streams the named query's result at the pinned state. The
+// yielded slice is a window into the snapshot's immutable buffer (the
+// uniform contract — copy to retain — stays safe, merely conservative).
 func (v *WorkspaceView) Enumerate(name string, yield func(tuple []Value) bool) {
-	v.backend(name).Enumerate(yield)
+	v.query(name).Enumerate(yield)
 }
 
 // Tuples returns the named query's full result as freshly allocated
 // tuples.
-func (v *WorkspaceView) Tuples(name string) [][]Value { return collectTuples(v.backend(name)) }
+func (v *WorkspaceView) Tuples(name string) [][]Value { return v.query(name).Tuples() }
 
 // ---- strategy adapters ----
 
