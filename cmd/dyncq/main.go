@@ -425,7 +425,7 @@ func cmdBench(args []string) error {
 		return cmdBenchSpeedup(args[1:])
 	}
 	fs := flag.NewFlagSet("dyncq bench", flag.ExitOnError)
-	out := fs.String("out", "BENCH_PR9.json", "output JSON path")
+	out := fs.String("out", "BENCH_PR10.json", "output JSON path")
 	seed := fs.Int64("seed", 1, "workload RNG seed")
 	n := fs.Int("n", 300, "star and hard-sqet case size (node count / domain); random-qh uses a fixed small domain")
 	streamLen := fs.Int("updates", 2000, "measured update-stream length per case")
@@ -440,6 +440,7 @@ func cmdBench(args []string) error {
 	multiBatch := fs.Int("multi-batch", 256, "batch size of the multi-query phase")
 	multiWorkersFlag := fs.String("multi-workers", "1,2,4", "comma-separated worker counts for the multi-query scaling phase (empty = skip)")
 	serverPhase := fs.Bool("server", false, "run the server phase (internal/server front door: notify latency, concurrent MVCC reader throughput)")
+	readPhase := fs.Bool("read", false, "run the read phase (snapshot pinning: cold vs hot pin latency, reader throughput, cache hit rate)")
 	large := fs.Bool("large", false, "run the production-scale tier (grouped schema, Zipf stream, K live queries)")
 	largeTuples := fs.Int("large-tuples", 1_000_000, "initial database size of the large tier")
 	largeUpdates := fs.Int("large-updates", 100_000, "measured stream length of the large tier")
@@ -568,6 +569,23 @@ func cmdBench(args []string) error {
 			return err
 		}
 	}
+	if *readPhase {
+		rep.Read, err = bench.RunReadSuite(bench.DefaultReadSuite())
+		if err != nil {
+			return err
+		}
+		// Record the cold→hot pin improvement in the notes: the whole
+		// point of the phase, and the number the acceptance bar reads.
+		for _, rr := range rep.Read {
+			if rr.HotPinNS.P50 > 0 {
+				rep.Notes = append(rep.Notes, fmt.Sprintf(
+					"read %s: pin p50 %dns cold (copy-on-pin) -> %dns hot (cached), %.0fx; hit rate %.3f; %s",
+					rr.Name, rr.ColdPinNS.P50, rr.HotPinNS.P50,
+					float64(rr.ColdPinNS.P50)/float64(rr.HotPinNS.P50),
+					rr.CacheHitRate, rr.HotPinAlloc))
+			}
+		}
+	}
 	rep.GoVersion = runtime.Version()
 	if err := rep.WriteJSON(*out); err != nil {
 		return err
@@ -632,6 +650,12 @@ func cmdBench(args []string) error {
 			sv.Name, sv.Subscribers, sv.Readers, sv.Batches, sv.BatchSize)
 		fmt.Printf("  commit p50 %8dns p99 %8dns  notify p50 %8dns p99 %8dns  reads %8.0f/s  dropped frames %d\n",
 			sv.CommitNS.P50, sv.CommitNS.P99, sv.NotifyNS.P50, sv.NotifyNS.P99, sv.ReadsPerSec, sv.DroppedFrames)
+	}
+	for _, rr := range rep.Read {
+		fmt.Printf("\nread %s  [%s] %d tuples\n", rr.Name, rr.Strategy, rr.Tuples)
+		fmt.Printf("  pin p50 cold %8dns -> hot %6dns (%s)  reads quiet %9.0f/s busy %9.0f/s  commit p50 %8dns p99 %8dns  hit rate %.3f\n",
+			rr.ColdPinNS.P50, rr.HotPinNS.P50, rr.HotPinAlloc,
+			rr.QuietReadsPerSec, rr.BusyReadsPerSec, rr.CommitNS.P50, rr.CommitNS.P99, rr.CacheHitRate)
 	}
 	for _, lg := range rep.Large {
 		fmt.Printf("\nlarge %s  %d queries over %d groups, %d initial tuples, %d updates in batches of %d (zipf s=%.2f, p-delete %.2f)\n",

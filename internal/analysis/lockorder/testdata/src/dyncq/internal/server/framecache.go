@@ -1,0 +1,55 @@
+// Fixture for the enumerate frame-cache rank: package path and
+// type/field names match the real internal/server frameCache, so the
+// rank table entry (rank 3, innermost) applies. The property under test
+// is the encode-outside-the-lock discipline — fc.mu guards only the map
+// probe/store, so neither a callback (the encoder) nor any other ranked
+// lock may be taken while it is held.
+package server
+
+import "sync"
+
+type frameCache struct {
+	mu      sync.Mutex
+	entries map[string][]byte
+}
+
+// encodeUnderLock is the bug the rank rules catch: running the encoder
+// callback while holding fc.mu serializes every O(|result|) encode
+// behind one mutex — and the callback can re-enter the locked API.
+func (fc *frameCache) encodeUnderLock(name string, encode func() []byte) []byte {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	frame, ok := fc.entries[name]
+	if !ok {
+		frame = encode() // want `call through function value encode while holding fc.mu: callbacks can re-enter the locked API`
+		fc.entries[name] = frame
+	}
+	return frame
+}
+
+// publishUnderCache acquires the broker lock (rank 2) under the frame
+// cache lock (rank 3): an inversion of the declared innermost-last
+// order.
+func publishUnderCache(fc *frameCache, b *broker, name string, frame []byte) {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	b.mu.Lock() // want `violates the declared lock order`
+	b.mu.Unlock()
+}
+
+// frameFor is the correct shape: probe under the lock, encode with the
+// lock released, re-lock only to store. Racing misses may encode twice;
+// the frames are identical and either wins.
+func (fc *frameCache) frameFor(name string, encode func() []byte) []byte {
+	fc.mu.Lock()
+	if frame, ok := fc.entries[name]; ok {
+		fc.mu.Unlock()
+		return frame
+	}
+	fc.mu.Unlock()
+	frame := encode()
+	fc.mu.Lock()
+	fc.entries[name] = frame
+	fc.mu.Unlock()
+	return frame
+}

@@ -195,6 +195,11 @@ type Report struct {
 	// update-to-subscriber-notification latency and concurrent MVCC
 	// reader throughput; reports from before the server existed lack it.
 	Server []ServerResult `json:"server,omitempty"`
+	// Read holds the snapshot-pin phase (see RunRead): cold vs hot pin
+	// latency, reader throughput with and without concurrent commits,
+	// and the cache hit rate; only invocations that opt in (bench
+	// -read) produce it.
+	Read []ReadResult `json:"read,omitempty"`
 	// Notes carries free-form context an operator attached to the
 	// artifact — e.g. the before/after allocation reductions recorded
 	// when a memory refactor lands. Purely informational: the compare

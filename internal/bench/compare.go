@@ -297,6 +297,43 @@ func CompareWithNotices(oldRep, newRep Report, opt CompareOptions) ([]Regression
 		}
 	}
 
+	// Read phase: gate the snapshot-pin latencies — cold (copy-on-pin
+	// baseline), hot (the cached path the phase exists to protect) and
+	// the busy-window commit cost of keeping the cache advancing.
+	switch {
+	case len(newRep.Read) > 0 && len(oldRep.Read) == 0:
+		notices = append(notices, "baseline has no read phase: not gated")
+	case len(newRep.Read) == 0 && len(oldRep.Read) > 0:
+		notices = append(notices, "new report has no read phase (bench -read?): not gated")
+	case len(newRep.Read) > 0:
+		oldRead := make(map[string]ReadResult, len(oldRep.Read))
+		for _, rr := range oldRep.Read {
+			oldRead[rr.Name] = rr
+		}
+		newRead := make(map[string]bool, len(newRep.Read))
+		for _, nr := range newRep.Read {
+			newRead[nr.Name] = true
+			or, ok := oldRead[nr.Name]
+			if !ok {
+				notices = append(notices, fmt.Sprintf("read case %q absent from baseline: not gated", nr.Name))
+				continue
+			}
+			who := "read/" + nr.Name
+			regs = append(regs, compareMetric(who, "cold_pin_ns.p50", or.ColdPinNS.P50, nr.ColdPinNS.P50, opt.Tolerance, opt)...)
+			regs = append(regs, compareMetric(who, "cold_pin_ns.p99", or.ColdPinNS.P99, nr.ColdPinNS.P99, opt.p99Tolerance(), opt)...)
+			regs = append(regs, compareMetric(who, "hot_pin_ns.p50", or.HotPinNS.P50, nr.HotPinNS.P50, opt.Tolerance, opt)...)
+			regs = append(regs, compareMetric(who, "hot_pin_ns.p99", or.HotPinNS.P99, nr.HotPinNS.P99, opt.p99Tolerance(), opt)...)
+			regs = append(regs, compareMetric(who, "commit_ns.p50", or.CommitNS.P50, nr.CommitNS.P50, opt.Tolerance, opt)...)
+			regs = append(regs, compareMetric(who, "commit_ns.p99", or.CommitNS.P99, nr.CommitNS.P99, opt.p99Tolerance(), opt)...)
+			notices = append(notices, allocNotices(who, "hot_pin_alloc", or.HotPinAlloc, nr.HotPinAlloc, opt)...)
+		}
+		for _, or := range oldRep.Read {
+			if !newRead[or.Name] {
+				notices = append(notices, fmt.Sprintf("read case %q in baseline but not in new report: not gated", or.Name))
+			}
+		}
+	}
+
 	if !opt.IncludeSweeps {
 		return regs, notices
 	}

@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dyncq/pkg/dyncq"
+)
+
+// TestRunReadSmoke runs one small read case end to end and checks the
+// dimensions the phase exists to protect: hot pins are hits (rate ~1),
+// allocate nothing, and beat cold pins.
+func TestRunReadSmoke(t *testing.T) {
+	res, err := RunRead(ReadConfig{
+		Name: "smoke", Query: "Q(x,y) :- E(x,y)", Strategy: dyncq.StrategyCore,
+		Tuples: 5000, PinSamples: 100, Readers: 2,
+		ReadWindow: 30 * time.Millisecond, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ColdPinNS.P50 <= 0 {
+		t.Fatalf("cold pin not measured: %+v", res.ColdPinNS)
+	}
+	if res.HotPinNS.P50 >= res.ColdPinNS.P50 {
+		t.Fatalf("hot pin p50 %dns not better than cold %dns", res.HotPinNS.P50, res.ColdPinNS.P50)
+	}
+	if res.HotPinAlloc.AllocsPerOp >= 1 {
+		t.Fatalf("hot pin allocates: %s", res.HotPinAlloc)
+	}
+	if res.QuietReadsPerSec <= 0 || res.BusyReadsPerSec <= 0 {
+		t.Fatalf("throughput windows empty: quiet=%f busy=%f", res.QuietReadsPerSec, res.BusyReadsPerSec)
+	}
+	if res.CommitNS.P50 <= 0 {
+		t.Fatalf("busy window committed nothing: %+v", res.CommitNS)
+	}
+	// PinSamples cold evictions are the only misses after priming; the
+	// hot loop and both windows are all hits.
+	if res.CacheHitRate < 0.5 {
+		t.Fatalf("cache hit rate %f, want the hot paths dominating", res.CacheHitRate)
+	}
+}
+
+func TestRunReadRejectsBadConfig(t *testing.T) {
+	if _, err := RunRead(ReadConfig{Name: "no-tuples", Query: "Q(x,y) :- E(x,y)"}); err == nil {
+		t.Fatal("zero Tuples accepted")
+	}
+	if _, err := RunRead(ReadConfig{Name: "bad-query", Query: "nope(", Tuples: 10, PinSamples: 1}); err == nil {
+		t.Fatal("unparsable query accepted")
+	}
+}
+
+func mkReadReport(coldP50, hotP50, commitP50 int64) Report {
+	return Report{Read: []ReadResult{{
+		Name:      "read-core-10k",
+		Strategy:  "core",
+		Tuples:    10000,
+		ColdPinNS: Percentiles{P50: coldP50, P99: coldP50 * 2},
+		HotPinNS:  Percentiles{P50: hotP50, P99: hotP50 * 2},
+		CommitNS:  Percentiles{P50: commitP50, P99: commitP50 * 2},
+	}}}
+}
+
+// TestCompareReadPhaseNotices: baselines from before the read phase (and
+// new reports that skipped -read) produce skip notices, not regressions.
+func TestCompareReadPhaseNotices(t *testing.T) {
+	withRead := mkReadReport(100000, 100, 50000)
+	regs, notices := CompareWithNotices(Report{}, withRead, DefaultCompareOptions())
+	if len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+	if !hasNotice(notices, "baseline has no read phase") {
+		t.Fatalf("missing forward notice, got %v", notices)
+	}
+	regs, notices = CompareWithNotices(withRead, Report{}, DefaultCompareOptions())
+	if len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+	if !hasNotice(notices, "new report has no read phase (bench -read?)") {
+		t.Fatalf("missing reverse notice, got %v", notices)
+	}
+}
+
+// TestCompareGatesReadPhase: a cold-pin regression beyond tolerance is
+// flagged; matching reports pass; unmatched cases notice both ways.
+func TestCompareGatesReadPhase(t *testing.T) {
+	oldRep := mkReadReport(100000, 100, 50000)
+	newRep := mkReadReport(200000, 100, 50000) // cold pin 2x
+	regs := Compare(oldRep, newRep, DefaultCompareOptions())
+	if len(regs) != 2 { // p50 and p99 both doubled
+		t.Fatalf("got %d regressions, want 2: %v", len(regs), regs)
+	}
+	if regs[0].Case != "read/read-core-10k" || regs[0].Metric != "cold_pin_ns.p50" {
+		t.Fatalf("regression = %+v", regs[0])
+	}
+	if regs := Compare(oldRep, oldRep, DefaultCompareOptions()); len(regs) != 0 {
+		t.Fatalf("identical reports regressed: %v", regs)
+	}
+	renamed := mkReadReport(100000, 100, 50000)
+	renamed.Read[0].Name = "read-core-20k"
+	_, notices := CompareWithNotices(oldRep, renamed, DefaultCompareOptions())
+	if !hasNotice(notices, `read case "read-core-20k" absent from baseline`) ||
+		!hasNotice(notices, `read case "read-core-10k" in baseline but not in new report`) {
+		t.Fatalf("missing per-case notices: %v", notices)
+	}
+}
+
+func hasNotice(notices []string, want string) bool {
+	for _, n := range notices {
+		if strings.Contains(n, want) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,82 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"dyncq/pkg/dyncq"
+)
+
+// frameCache is the encode-once store for `enumerate` response frames:
+// one encoded frame per (query, snapshot), fanned out byte-identical to
+// every client — the same discipline broker.publish already applies to
+// delta frames. Validity is keyed by snapshot POINTER identity, which
+// the workspace cache makes exactly right: every pin at an unchanged
+// version returns the same shared *QuerySnapshot, and any commit,
+// eviction, or unregister/re-register produces a fresh pointer — so a
+// stale frame can never match and no version bookkeeping is needed.
+type frameCache struct {
+	// mu is rank 3 in the lockorder analyzer: innermost, guards only
+	// the map probe/store — encoding always happens outside it, and no
+	// other lock is ever acquired under it.
+	mu      sync.Mutex
+	entries map[string]frameEntry
+
+	hits, misses atomic.Uint64
+}
+
+type frameEntry struct {
+	snap  *dyncq.QuerySnapshot
+	frame []byte
+}
+
+func newFrameCache() *frameCache {
+	return &frameCache{entries: make(map[string]frameEntry)}
+}
+
+// frameFor returns the encoded enumerate frame for snap, encoding it
+// only when this snapshot has not been encoded before. Racing misses on
+// the same snapshot may encode twice; the frames are byte-identical
+// (snapshot enumeration order is deterministic) and either wins — the
+// cost of keeping the O(|result|) encode outside the lock.
+//
+//dyncq:hot
+func (fc *frameCache) frameFor(snap *dyncq.QuerySnapshot) []byte {
+	name := snap.Name()
+	fc.mu.Lock()
+	if e, ok := fc.entries[name]; ok && e.snap == snap {
+		fc.mu.Unlock()
+		fc.hits.Add(1)
+		return e.frame
+	}
+	fc.mu.Unlock()
+	frame := encodeSnapshot(snap)
+	fc.mu.Lock()
+	fc.entries[name] = frameEntry{snap: snap, frame: frame}
+	fc.mu.Unlock()
+	fc.misses.Add(1)
+	return frame
+}
+
+// purge drops a query's cached frame. Called on unregister so the
+// entry's snapshot (and its result buffer) can be collected; staleness
+// is already impossible via pointer identity, this is purely memory
+// hygiene.
+func (fc *frameCache) purge(name string) {
+	fc.mu.Lock()
+	delete(fc.entries, name)
+	fc.mu.Unlock()
+}
+
+// FrameCacheStats is the server's encode-once counters: Hits served an
+// already-encoded frame with no enumeration or encoding; Misses paid
+// one encode (first enumerate at a version).
+type FrameCacheStats struct {
+	Hits   uint64
+	Misses uint64
+}
+
+// FrameCacheStats returns the monotonic frame-cache counters.
+func (s *Server) FrameCacheStats() FrameCacheStats {
+	return FrameCacheStats{Hits: s.frames.hits.Load(), Misses: s.frames.misses.Load()}
+}

@@ -58,6 +58,7 @@ type Server struct {
 	ws     *dyncq.Workspace
 	opt    Options
 	broker *broker
+	frames *frameCache
 
 	// subMu serializes all subscription topology changes: broker
 	// add/remove, capture start/stop, and each session's subs map. It
@@ -78,6 +79,7 @@ func New(opt Options) *Server {
 		ws:        dyncq.NewWorkspace(dyncq.WorkspaceOptions{Workers: opt.Workers}),
 		opt:       opt.withDefaults(),
 		broker:    newBroker(),
+		frames:    newFrameCache(),
 		sessions:  make(map[*session]struct{}),
 		listeners: make(map[net.Listener]struct{}),
 	}
@@ -258,6 +260,7 @@ func (s *Server) unregister(name string) bool {
 	for _, sub := range s.broker.take(name) {
 		delete(sub.sess.subs, name)
 	}
+	s.frames.purge(name)
 	return true
 }
 

@@ -199,11 +199,20 @@ func (s *session) dispatch(line string) bool {
 		if h == nil {
 			return bad
 		}
+		// Served from the cached snapshot header when one is current —
+		// no workspace lock at all on a warm query. The cold fallback
+		// reads the live backend under the read lock as before.
+		if snap := h.CachedSnapshot(); snap != nil {
+			return s.ok("count %s %d %d", h.Name(), snap.Count(), snap.Version())
+		}
 		return s.ok("count %s %d %d", h.Name(), h.Count(), s.srv.ws.Version())
 	case "answer":
 		h, bad := s.handleArg(rest, "answer")
 		if h == nil {
 			return bad
+		}
+		if snap := h.CachedSnapshot(); snap != nil {
+			return s.ok("answer %s %t %d", h.Name(), snap.Answer(), snap.Version())
 		}
 		return s.ok("answer %s %t %d", h.Name(), h.Answer(), s.srv.ws.Version())
 	case "enumerate":
@@ -211,9 +220,12 @@ func (s *session) dispatch(line string) bool {
 		if h == nil {
 			return bad
 		}
-		// Pin an MVCC snapshot and encode it with no lock held: a slow
-		// client draining a huge result never blocks ApplyBatch.
-		return s.send(encodeSnapshot(h.Snapshot()))
+		// Pin an MVCC snapshot (O(1) on a warm version) and serve the
+		// frame from the encode-once cache: the same bytes fan out to
+		// every client until the next commit moves the snapshot. No
+		// lock is held while encoding, so a slow client draining a
+		// huge result never blocks ApplyBatch.
+		return s.send(s.srv.frames.frameFor(h.Snapshot()))
 	case "subscribe":
 		name := strings.TrimSpace(rest)
 		if name == "" {

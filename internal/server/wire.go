@@ -40,7 +40,10 @@
 //
 // Added and removed tuples are sorted lexicographically and each frame
 // is encoded exactly once, so every subscriber of a query receives
-// byte-identical delta streams. A subscriber that cannot keep up
+// byte-identical delta streams. `enumerate` frames follow the same
+// encode-once discipline: each is encoded once per (query, version)
+// and the identical bytes are fanned out to every client asking while
+// that version is current. A subscriber that cannot keep up
 // (bounded per-connection outbox) has frames dropped; on recovery it
 // receives a single
 //
@@ -135,7 +138,12 @@ func encodeResync(name string, version, dropped uint64) []byte {
 }
 
 // encodeSnapshot renders an `enumerate` response frame from a pinned
-// MVCC snapshot. Runs without any workspace lock held.
+// MVCC snapshot. Runs without any workspace lock held. Callers go
+// through frameCache.frameFor, so each shared snapshot is encoded at
+// most once (modulo benign racing misses) and every client receives
+// the same bytes.
+//
+//dyncq:hot
 func encodeSnapshot(s *dyncq.QuerySnapshot) []byte {
 	name := s.Name()
 	est := len(name) + 64 + s.Len()*(len(name)+4+21*s.Arity())

@@ -1,0 +1,210 @@
+package torture
+
+import (
+	"fmt"
+
+	"dyncq/internal/eval"
+	"dyncq/internal/workload"
+	"dyncq/pkg/dyncq"
+)
+
+// This file is the snapshot category: the MVCC read path under churn.
+// The snapshot cache makes pins O(1) by SHARING one buffer across every
+// reader at a version and advancing it in place of the handle's cache
+// slot on commit — so the properties worth torturing are (a) a pinned
+// snapshot is frozen forever: byte-identical at the end of the stream
+// to the moment it was pinned, and to an oracle evaluation at that
+// version, no matter how many commits advanced the cache underneath;
+// and (b) register/unregister/evict churn never lets a stale buffer
+// leak into a later pin.
+
+// pinnedRecord freezes everything a pin promised: the shared snapshot
+// itself plus a deep copy of what it contained (and what the oracle
+// said) at pin time.
+type pinnedRecord struct {
+	name    string
+	batch   int
+	snap    *dyncq.QuerySnapshot
+	version uint64
+	rows    [][]dyncq.Value // deep copy at pin time
+	oracle  [][]dyncq.Value // brute-force result at pin time
+}
+
+func deepCopyRows(rows [][]dyncq.Value) [][]dyncq.Value {
+	out := make([][]dyncq.Value, len(rows))
+	for i, r := range rows {
+		out[i] = append([]dyncq.Value(nil), r...)
+	}
+	return out
+}
+
+func snapshotScenarios() []Scenario {
+	return []Scenario{
+		{
+			Category: "snapshot", Name: "pinned-across-commits",
+			Brief: "pinned snapshots stay byte-identical to pin-time state and oracle while the cache advances",
+			Run: func(seed int64) error {
+				ws, o, err := buildWorkspace(dyncq.WorkspaceOptions{}, 0)
+				if err != nil {
+					return err
+				}
+				// Capture on half the pool: both advance paths (delta
+				// patch and re-enumerate) run in the same stream.
+				for _, nq := range queryPool[:2] {
+					if err := ws.CaptureDeltas(nq.name, func(dyncq.DeltaEvent) {}); err != nil {
+						return err
+					}
+				}
+				cfg := workload.TortureConfig{Seed: seed, Domain: 24, Updates: 1200, PDelete: 0.35, ZipfS: 1.2, ZipfV: 1}
+				stream := cfg.Stream(tortureSchema)
+				rng := rngFor(seed, "snapshot-pins")
+				var pinned []pinnedRecord
+				const batchSize = 60
+				for b := 0; b*batchSize < len(stream); b++ {
+					lo, hi := b*batchSize, (b+1)*batchSize
+					if hi > len(stream) {
+						hi = len(stream)
+					}
+					if _, err := ws.ApplyBatch(stream[lo:hi]); err != nil {
+						return fmt.Errorf("batch %d: %v", b, err)
+					}
+					o.apply(stream[lo:hi])
+					for _, nq := range queryPool {
+						h := ws.Handle(nq.name)
+						s := h.Snapshot() // keeps every cache demanded → advancing
+						if s.Version() != ws.Version() {
+							return fmt.Errorf("batch %d: pin of %s at version %d, workspace at %d",
+								b, nq.name, s.Version(), ws.Version())
+						}
+						if rng.Intn(4) == 0 {
+							pinned = append(pinned, pinnedRecord{
+								name: nq.name, batch: b, snap: s, version: s.Version(),
+								rows:   deepCopyRows(s.Tuples()),
+								oracle: deepCopyRows(eval.Evaluate(o.queries[nq.name], o.db).Tuples()),
+							})
+						}
+					}
+					if b%5 == 0 {
+						if err := o.check(ws, fmt.Sprintf("batch %d", b)); err != nil {
+							return err
+						}
+					}
+				}
+				// End of stream: every pinned snapshot must still read
+				// exactly as it did at pin time, and match the oracle's
+				// pin-time result as a set.
+				for _, p := range pinned {
+					if p.snap.Version() != p.version {
+						return fmt.Errorf("pin %s@batch%d: version mutated %d -> %d",
+							p.name, p.batch, p.version, p.snap.Version())
+					}
+					now := p.snap.Tuples()
+					if len(now) != len(p.rows) {
+						return fmt.Errorf("pin %s@batch%d: length mutated %d -> %d",
+							p.name, p.batch, len(p.rows), len(now))
+					}
+					for i := range now {
+						if !equalTuple(now[i], p.rows[i]) {
+							return fmt.Errorf("pin %s@batch%d: row %d mutated %v -> %v",
+								p.name, p.batch, i, p.rows[i], now[i])
+						}
+					}
+					if err := sameTupleSet(now, p.oracle); err != nil {
+						return fmt.Errorf("pin %s@batch%d vs oracle at pin time: %w", p.name, p.batch, err)
+					}
+				}
+				// The pins above hit the advanced cache: re-pinning every
+				// batch must have been served without re-materialising
+				// each time.
+				for _, nq := range queryPool {
+					st := ws.Handle(nq.name).SnapshotCacheStats()
+					if st.Patched+st.Rebuilt == 0 {
+						return fmt.Errorf("%s: cache never advanced (%+v)", nq.name, st)
+					}
+				}
+				return o.check(ws, "end of stream")
+			},
+		},
+		{
+			Category: "snapshot", Name: "register-churn",
+			Brief: "unregister/re-register and eviction churn never serve a stale snapshot",
+			Run: func(seed int64) error {
+				ws, o, err := buildWorkspace(dyncq.WorkspaceOptions{}, 0)
+				if err != nil {
+					return err
+				}
+				cfg := workload.TortureConfig{Seed: seed, Domain: 20, Updates: 900, PDelete: 0.3, ZipfS: 1.1, ZipfV: 1}
+				stream := cfg.Stream(tortureSchema)
+				rng := rngFor(seed, "snapshot-churn")
+				// churn flips between two different queries under ONE
+				// name; a stale cache would surface as the wrong result
+				// set after a flip.
+				churnTexts := []string{"Q(x) :- S(x), E(x,y)", "Q(y) :- T(y), E(x,y)"}
+				churnOn := 0
+				if _, err := ws.RegisterQuery("churn", mustParse(churnTexts[churnOn]), dyncq.Options{}); err != nil {
+					return err
+				}
+				o.register("churn", mustParse(churnTexts[churnOn]))
+				var held []*dyncq.QuerySnapshot // old-generation pins kept across flips
+				const batchSize = 45
+				for b := 0; b*batchSize < len(stream); b++ {
+					lo, hi := b*batchSize, (b+1)*batchSize
+					if hi > len(stream) {
+						hi = len(stream)
+					}
+					if _, err := ws.ApplyBatch(stream[lo:hi]); err != nil {
+						return fmt.Errorf("batch %d: %v", b, err)
+					}
+					o.apply(stream[lo:hi])
+					h := ws.Handle("churn")
+					s := h.Snapshot()
+					want := eval.Evaluate(o.queries["churn"], o.db)
+					if err := sameTupleSet(s.Tuples(), want.Tuples()); err != nil {
+						return fmt.Errorf("batch %d (generation %d): churn snapshot: %w", b, churnOn, err)
+					}
+					switch rng.Intn(3) {
+					case 0: // flip the registration under the same name
+						held = append(held, s)
+						wantOld := deepCopyRows(s.Tuples())
+						if !ws.Unregister("churn") {
+							return fmt.Errorf("batch %d: unregister failed", b)
+						}
+						o.unregister("churn")
+						churnOn = 1 - churnOn
+						if _, err := ws.RegisterQuery("churn", mustParse(churnTexts[churnOn]), dyncq.Options{}); err != nil {
+							return fmt.Errorf("batch %d: re-register: %v", b, err)
+						}
+						o.register("churn", mustParse(churnTexts[churnOn]))
+						// The fresh handle pins the NEW query's result…
+						h2 := ws.Handle("churn")
+						want2 := eval.Evaluate(o.queries["churn"], o.db)
+						if err := sameTupleSet(h2.Snapshot().Tuples(), want2.Tuples()); err != nil {
+							return fmt.Errorf("batch %d: re-registered churn: %w", b, err)
+						}
+						// …while the pre-flip pin still reads its frozen rows.
+						now := s.Tuples()
+						for i := range now {
+							if !equalTuple(now[i], wantOld[i]) {
+								return fmt.Errorf("batch %d: pre-flip pin mutated at row %d", b, i)
+							}
+						}
+					case 1: // evict: the next pin re-materialises correctly
+						h.EvictSnapshot()
+						if err := sameTupleSet(h.Snapshot().Tuples(), want.Tuples()); err != nil {
+							return fmt.Errorf("batch %d: post-evict pin: %w", b, err)
+						}
+					}
+					if b%6 == 0 {
+						if err := o.check(ws, fmt.Sprintf("batch %d", b)); err != nil {
+							return err
+						}
+					}
+				}
+				if len(held) == 0 {
+					return fmt.Errorf("churn never flipped (harness rng broken?)")
+				}
+				return o.check(ws, "end of stream")
+			},
+		},
+	}
+}

@@ -28,7 +28,7 @@ import (
 // success or an error describing the first violated check.
 type Scenario struct {
 	// Category groups the scenario in the matrix: parse, eval, error,
-	// lifecycle, concurrency, or fanout.
+	// lifecycle, concurrency, fanout, snapshot, or server.
 	Category string
 	// Name identifies the scenario inside its category (no spaces, so
 	// `go test -run` selectors match it verbatim).
@@ -41,7 +41,7 @@ type Scenario struct {
 
 // Categories lists the matrix's categories in canonical order.
 func Categories() []string {
-	return []string{"parse", "eval", "error", "lifecycle", "concurrency", "fanout", "server"}
+	return []string{"parse", "eval", "error", "lifecycle", "concurrency", "fanout", "snapshot", "server"}
 }
 
 // All returns every scenario of the matrix, grouped by category in
@@ -54,6 +54,7 @@ func All() []Scenario {
 	out = append(out, lifecycleScenarios()...)
 	out = append(out, concurrencyScenarios()...)
 	out = append(out, fanoutScenarios()...)
+	out = append(out, snapshotScenarios()...)
 	out = append(out, serverScenarios()...)
 	return out
 }

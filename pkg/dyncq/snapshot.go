@@ -10,22 +10,27 @@ import (
 // This file implements the MVCC read side of the workspace and the
 // per-query delta export feeding the serving layer (internal/server).
 //
-// Snapshots are copy-on-pin: pinning materialises the pinned queries'
-// results (and the store's summary statistics) into immutable buffers
-// under a brief read lock, then releases it. A reader iterating a
-// snapshot therefore NEVER blocks ApplyBatch — the paper's update
-// procedure keeps running while an arbitrarily slow enumeration walks a
-// consistent past state. The price is one result copy per pin; the
-// alternative (retained generations inside the maintenance structures)
-// would tax every update for the benefit of occasional readers, which
-// inverts the paper's cost model — updates are the hot path.
+// Snapshots are copy-on-pin with a version-keyed shared cache
+// (snapshot_cache.go): the FIRST pin at a committed version
+// materialises the query's result (and the store's summary statistics)
+// into an immutable buffer under a brief read lock; every further pin
+// at the same version is one atomic pointer load returning the SAME
+// QuerySnapshot — N concurrent readers share one buffer, and re-pinning
+// an unchanged version enumerates nothing and allocates nothing. A
+// reader iterating a snapshot NEVER blocks ApplyBatch — the paper's
+// update procedure keeps running while an arbitrarily slow enumeration
+// walks a consistent past state. Commits advance a demanded cache in
+// place (delta patch or sized re-enumeration) and drop an undemanded
+// one, so a write-only stream pays nothing — updates stay the hot path.
 //
 // Delta capture is the push half: a registered hook observes, per
 // committed version, exactly which tuples each query's result gained
 // and lost. The workspace computes the delta generically (a shadow
 // result diffed against the backend's enumeration after each commit),
 // so every strategy — core, IVM, recompute — exports deltas without
-// per-backend plumbing.
+// per-backend plumbing. The cache advance reuses the same diff: when a
+// capture is active, the committed DeltaEvent patches the previous flat
+// buffer in O(|result| + |delta|) with no backend enumeration at all.
 
 // QuerySnapshot is one query's result pinned at one committed version.
 // It is immutable and safe for concurrent use by any number of
@@ -99,52 +104,88 @@ func (s *QuerySnapshot) Enumerate(yield func(tuple []Value) bool) {
 	}
 }
 
-// Tuples returns the pinned result as freshly allocated tuples.
+// Tuples returns the pinned result as a sized slice of row windows into
+// the snapshot's buffer — one allocation regardless of result size. The
+// windows are capacity-capped and immutable, exactly like Tuple's: do
+// not modify them (the buffer may be shared by any number of pinners).
 func (s *QuerySnapshot) Tuples() [][]Value {
-	out := make([][]Value, 0, s.n)
-	s.Enumerate(func(t []Value) bool {
-		out = append(out, append([]Value(nil), t...))
-		return true
-	})
+	out := make([][]Value, s.n)
+	if s.arity == 0 {
+		return out // n empty tuples, same shape Enumerate yields
+	}
+	for i := range out {
+		out[i] = s.flat[i*s.arity : (i+1)*s.arity : (i+1)*s.arity]
+	}
 	return out
 }
 
-// snapshotLocked materialises the handle's current result. Callers hold
-// at least the workspace read lock.
+// snapshotLocked materialises the handle's current result — the
+// copy-on-pin slow path behind the version-keyed cache. Callers hold at
+// least the workspace read lock (or exclusive access).
+//
+// Order contract: a core backend's snapshot preserves the engine's live
+// enumeration order byte for byte; every other strategy's snapshot is
+// canonicalised to lexicographic tuple order. IVM enumerates a Go map
+// (nondeterministic between identical pins), so without the sort two
+// pins of one unchanged version could disagree — and the delta-patched
+// advance needs a deterministic order to merge DeltaEvents into.
 func (h *Handle) snapshotLocked() *QuerySnapshot {
 	w := h.ws
 	s := &QuerySnapshot{
 		name:    h.name,
-		version: w.version,
+		version: w.version.Load(),
 		epoch:   w.store.Epoch(),
 		card:    w.store.Cardinality(),
 		adom:    w.store.ActiveDomainSize(),
 		arity:   h.query.Arity(),
 	}
+	h.fillSnapshot(s)
+	return s
+}
+
+// fillSnapshot populates n and the flat buffer from the backend's
+// current result, enforcing the order contract above. Callers hold the
+// read lock or exclusive access.
+func (h *Handle) fillSnapshot(s *QuerySnapshot) {
 	if s.arity == 0 {
 		// Boolean query: the result is {()} or ∅; do not rely on the
 		// backend enumerating empty tuples.
 		s.n = int(h.back.Count())
-		return s
+		return
+	}
+	// Count is O(1) for the maintained strategies, so the flat buffer is
+	// one exactly-sized allocation; recompute's Count is itself a full
+	// evaluation, so it keeps the growing append instead of paying twice.
+	if h.strategy != StrategyRecompute {
+		s.flat = make([]Value, 0, int(h.back.Count())*s.arity)
 	}
 	h.back.Enumerate(func(t []Value) bool {
 		s.flat = append(s.flat, t...)
 		return true
 	})
 	s.n = len(s.flat) / s.arity
-	return s
+	if h.strategy != StrategyCore {
+		sortFlatRows(s.flat, s.arity)
+	}
 }
 
-// Snapshot pins this query's result at the latest committed version:
-// the result is copied out under a brief read lock, and the returned
-// snapshot is read without any lock at all. Use it whenever the
-// consumer of an enumeration is slow (a network peer, a report writer):
-// Handle.Enumerate holds the read lock for its whole run and therefore
-// stalls writers, a pinned snapshot never does.
+// Snapshot pins this query's result at the latest committed version.
+// Pinning an already-materialised version is O(1) — one atomic pointer
+// load returning the SAME immutable snapshot every concurrent pinner
+// shares, with zero enumeration and zero result-buffer allocation. Only
+// the first pin of a version copies the result out under a brief read
+// lock. Either way the returned snapshot is read without any lock at
+// all: use it whenever the consumer of an enumeration is slow (a
+// network peer, a report writer) — Handle.Enumerate holds the read lock
+// for its whole run and therefore stalls writers, a pinned snapshot
+// never does.
 func (h *Handle) Snapshot() *QuerySnapshot {
+	if s := h.CachedSnapshot(); s != nil {
+		return s
+	}
 	h.ws.mu.RLock()
 	defer h.ws.mu.RUnlock()
-	return h.snapshotLocked()
+	return h.pinLocked()
 }
 
 // WorkspaceSnapshot pins several queries' results at ONE committed
@@ -186,7 +227,7 @@ func (w *Workspace) Snapshot(names ...string) *WorkspaceSnapshot {
 	w.mu.RLock()
 	defer w.mu.RUnlock()
 	s := &WorkspaceSnapshot{
-		version: w.version,
+		version: w.version.Load(),
 		epoch:   w.store.Epoch(),
 		card:    w.store.Cardinality(),
 		adom:    w.store.ActiveDomainSize(),
@@ -195,7 +236,7 @@ func (w *Workspace) Snapshot(names ...string) *WorkspaceSnapshot {
 	if len(names) == 0 {
 		for _, h := range w.order {
 			s.order = append(s.order, h.name)
-			s.queries[h.name] = h.snapshotLocked()
+			s.queries[h.name] = h.pinLocked()
 		}
 		return s
 	}
@@ -208,7 +249,7 @@ func (w *Workspace) Snapshot(names ...string) *WorkspaceSnapshot {
 			continue
 		}
 		s.order = append(s.order, name)
-		s.queries[name] = h.snapshotLocked()
+		s.queries[name] = h.pinLocked()
 	}
 	return s
 }
@@ -302,33 +343,52 @@ func (w *Workspace) StopDeltaCapture(name string) bool {
 	return true
 }
 
-// captureDeltasLocked fans the post-commit delta diff out over every
-// captured handle, on the workspace worker pool (per-handle shadows are
-// private; backend reads over the now-quiescent store are safe
-// concurrently). Called at the end of every committed state change,
-// with exclusive access, after w.version moved.
-func (w *Workspace) captureDeltasLocked() {
-	var captured []int
+// afterCommitLocked fans the post-commit read-side maintenance out over
+// every handle that needs any: the delta-capture diff (CaptureDeltas)
+// and the cached-snapshot advance (snapshot_cache.go), on the workspace
+// worker pool (per-handle shadows and caches are private; backend reads
+// over the now-quiescent store are safe concurrently). Called at the
+// end of every committed state change, with exclusive access, after
+// w.version moved. Handles with neither a capture nor a cached snapshot
+// cost nothing here — the paper's per-update bound is untouched for
+// write-only workloads.
+func (w *Workspace) afterCommitLocked() {
+	var active []int
 	for i, h := range w.order {
-		if h.capture != nil {
-			captured = append(captured, i)
+		if h.capture != nil || h.snap.Load() != nil {
+			active = append(active, i)
 		}
 	}
-	if len(captured) == 0 {
+	if len(active) == 0 {
 		return
 	}
-	runPool(captured, w.workers, func(i int) {
-		w.order[i].captureDelta()
+	runPool(active, w.workers, func(i int) {
+		w.order[i].afterCommit()
 	})
 }
 
+// afterCommit runs one handle's post-commit read-side maintenance. The
+// snapshot advance reads the DeltaEvent BEFORE the hook is delivered —
+// the event's slices are owned by the hook once delivered, and the
+// advance only copies values out, never retains them.
+func (h *Handle) afterCommit() {
+	if c := h.capture; c != nil {
+		ev := h.captureDelta()
+		h.advanceSnapshot(&ev)
+		c.hook(ev)
+		return
+	}
+	h.advanceSnapshot(nil)
+}
+
 // captureDelta diffs the handle's current result against its shadow and
-// delivers the event. One enumeration pass stamps kept tuples with the
-// new generation and collects the added ones; one sweep over the shadow
-// collects everything the result no longer contains.
-func (h *Handle) captureDelta() {
+// returns the event (the caller delivers it). One enumeration pass
+// stamps kept tuples with the new generation and collects the added
+// ones; one sweep over the shadow collects everything the result no
+// longer contains.
+func (h *Handle) captureDelta() DeltaEvent {
 	c := h.capture
-	ev := DeltaEvent{Query: h.name, Version: h.ws.version, Epoch: h.ws.store.Epoch()}
+	ev := DeltaEvent{Query: h.name, Version: h.ws.version.Load(), Epoch: h.ws.store.Epoch()}
 	if c.boolean {
 		now := h.back.Answer()
 		if now && !c.prev {
@@ -337,8 +397,7 @@ func (h *Handle) captureDelta() {
 			ev.Removed = [][]Value{nil}
 		}
 		c.prev = now
-		c.hook(ev)
-		return
+		return ev
 	}
 	c.gen++
 	n := 0
@@ -366,7 +425,7 @@ func (h *Handle) captureDelta() {
 	}
 	sortTuplesLex(ev.Added)
 	sortTuplesLex(ev.Removed)
-	c.hook(ev)
+	return ev
 }
 
 // sortTuplesLex orders tuples lexicographically — the deterministic

@@ -1,0 +1,254 @@
+package dyncq
+
+import "sort"
+
+// This file implements the version-keyed shared snapshot cache behind
+// Handle.Snapshot — the O(1) pin. Each handle holds at most ONE cached
+// QuerySnapshot behind an atomic pointer; a pin whose version is still
+// current returns that shared snapshot with one pointer load. Commits
+// ADVANCE a demanded cache instead of invalidating it:
+//
+//   - core backend: re-enumerate into one exactly-sized buffer — the
+//     engine's live enumeration order is a function of its fit-list
+//     insertion history, not of the result set, so it cannot be
+//     reconstructed from a delta and the byte-identical order contract
+//     forces a fresh walk (still one allocation, no sort);
+//   - ivm/recompute (canonical lexicographic order): when a delta
+//     capture is active and the committed delta is small relative to
+//     the result, a three-way sorted merge patches the previous flat
+//     buffer in O(|result| + |delta|) with NO backend enumeration;
+//     past the crossover (or with no capture) it falls back to the
+//     sized re-enumeration plus sort.
+//
+// The fast path is linearizable without any lock: the pointer only
+// moves while writers are excluded (write lock held, or the read lock
+// on the slow-path pin), and the pin loads the pointer BEFORE the
+// atomic version — so a version match proves the snapshot was built at
+// the current committed state. Version values are unique and monotonic,
+// so a stale pointer can never match.
+//
+// Demand decay bounds the write-side cost: every pin rearms a countdown
+// of snapDemandGrace commits; each commit decrements it and, once it
+// runs out, drops the cache instead of advancing it. A burst of reads
+// therefore costs at most snapDemandGrace advances after the last pin,
+// and a write-only stream pays one pointer load per commit.
+
+// snapDemandGrace is how many commits a cached snapshot survives
+// without being re-pinned before the advance gives up and invalidates
+// it. Small enough that a departed reader stops taxing commits almost
+// immediately; large enough that a reader polling every few commits
+// stays on the O(1) hit path throughout.
+const snapDemandGrace = 8
+
+// snapPatchCrossover is the delta/result crossover of the merge patch:
+// the sorted merge only runs while |delta| * snapPatchCrossover <= n;
+// beyond that the churn approaches the result size and one sized
+// re-enumeration (plus sort) beats merging row by row.
+const snapPatchCrossover = 2
+
+// SnapshotCacheStats is one handle's snapshot-cache observability
+// counters. Hits and Misses split the pins (Hits returned the shared
+// cached snapshot with zero enumeration; Misses materialised); Patched,
+// Rebuilt and Invalidated split the commit-side outcomes for a live
+// cache (delta-merged in place, re-enumerated, or dropped by demand
+// decay / eviction / unregistration).
+type SnapshotCacheStats struct {
+	Hits        uint64
+	Misses      uint64
+	Patched     uint64
+	Rebuilt     uint64
+	Invalidated uint64
+}
+
+// SnapshotCacheStats returns the handle's cache counters. The counters
+// are monotonic; sample before and after a phase to rate it.
+func (h *Handle) SnapshotCacheStats() SnapshotCacheStats {
+	return SnapshotCacheStats{
+		Hits:        h.snapHits.Load(),
+		Misses:      h.snapMisses.Load(),
+		Patched:     h.snapPatched.Load(),
+		Rebuilt:     h.snapRebuilt.Load(),
+		Invalidated: h.snapInvalidated.Load(),
+	}
+}
+
+// CachedSnapshot returns the shared snapshot pinned at the workspace's
+// current committed version, or nil when no current snapshot is cached
+// (no pin since the last commit or invalidation). It takes no lock and
+// performs no allocation: one pointer load, one version load. Callers
+// wanting a snapshot unconditionally use Snapshot, which falls back to
+// materialising; CachedSnapshot is the probe for callers with a cheaper
+// cold path of their own (the server answers count/answer from the
+// cached header and only takes the read lock when cold).
+//
+//dyncq:hot
+func (h *Handle) CachedSnapshot() *QuerySnapshot {
+	s := h.snap.Load()
+	if s == nil || s.version != h.ws.version.Load() {
+		return nil
+	}
+	h.demand.Store(snapDemandGrace)
+	h.snapHits.Add(1)
+	return s
+}
+
+// pinLocked is the slow-path pin: re-probe the cache (another reader
+// may have materialised this version between the fast-path miss and the
+// lock), else materialise, publish, and rearm demand. Callers hold at
+// least the workspace read lock; concurrent slow-path pinners may both
+// materialise and race the Store, which is benign — the snapshots are
+// byte-identical (deterministic order contract) and either wins.
+func (h *Handle) pinLocked() *QuerySnapshot {
+	if s := h.snap.Load(); s != nil && s.version == h.ws.version.Load() {
+		h.demand.Store(snapDemandGrace)
+		h.snapHits.Add(1)
+		return s
+	}
+	s := h.snapshotLocked()
+	h.snap.Store(s)
+	h.demand.Store(snapDemandGrace)
+	h.snapMisses.Add(1)
+	return s
+}
+
+// EvictSnapshot drops the handle's cached snapshot, reporting whether
+// one was cached. Snapshots already pinned by readers stay valid and
+// immutable; only the cache forgets them, so the next pin materialises
+// afresh and commits stop advancing the buffer. A memory knob for
+// rarely-read queries with huge results — and the bench harness's way
+// of measuring the copy-on-pin baseline the cache replaces.
+func (h *Handle) EvictSnapshot() bool {
+	h.demand.Store(0)
+	if h.snap.Swap(nil) == nil {
+		return false
+	}
+	h.snapInvalidated.Add(1)
+	return true
+}
+
+// advanceSnapshot is the commit-side half of the cache: bring the
+// cached snapshot to the just-committed version, or drop it when demand
+// has decayed. ev is the version's DeltaEvent when a capture computed
+// one (nil otherwise); its tuples are only read, never retained. Runs
+// with exclusive workspace access, after w.version moved, on the
+// after-commit worker pool.
+//
+//dyncq:hot
+func (h *Handle) advanceSnapshot(ev *DeltaEvent) {
+	prev := h.snap.Load()
+	if prev == nil {
+		return
+	}
+	if h.demand.Add(-1) < 0 {
+		h.snap.Store(nil)
+		h.snapInvalidated.Add(1)
+		return
+	}
+	w := h.ws
+	s := &QuerySnapshot{
+		name:    prev.name,
+		version: w.version.Load(),
+		epoch:   w.store.Epoch(),
+		card:    w.store.Cardinality(),
+		adom:    w.store.ActiveDomainSize(),
+		arity:   prev.arity,
+	}
+	d := 0
+	if ev != nil {
+		d = len(ev.Added) + len(ev.Removed)
+	}
+	switch {
+	case s.arity == 0:
+		// Boolean header refresh: O(1), no buffer at all.
+		s.n = int(h.back.Count())
+		h.snapPatched.Add(1)
+	case h.strategy != StrategyCore && ev != nil && d*snapPatchCrossover <= prev.n:
+		// Canonical-order snapshot with a small committed delta: merge
+		// the previous sorted buffer with the sorted Added/Removed —
+		// no backend enumeration, no sort, one sized allocation.
+		s.flat = patchSortedFlat(prev.flat, s.arity, ev.Added, ev.Removed)
+		s.n = len(s.flat) / s.arity
+		h.snapPatched.Add(1)
+	default:
+		// Core order is not delta-reconstructible, and a huge delta
+		// makes the merge pointless: re-materialise (sized by O(1)
+		// Count for the maintained strategies, sorted when canonical).
+		h.fillSnapshot(s)
+		h.snapRebuilt.Add(1)
+	}
+	h.snap.Store(s)
+}
+
+// patchSortedFlat merges one committed delta into a lex-sorted flat
+// row buffer: removed rows are skipped, added rows are spliced at their
+// sort position. Added and Removed arrive lex-sorted and disjoint from
+// the DeltaEvent contract, Removed ⊆ prev and Added ∩ prev = ∅, so one
+// forward pass over the three sequences rebuilds the exact sorted
+// result in a single exactly-sized allocation.
+//
+//dyncq:hot
+func patchSortedFlat(prev []Value, arity int, added, removed [][]Value) []Value {
+	out := make([]Value, 0, len(prev)+(len(added)-len(removed))*arity)
+	ai, ri := 0, 0
+	for off := 0; off < len(prev); off += arity {
+		row := prev[off : off+arity]
+		if ri < len(removed) && rowCompare(row, removed[ri]) == 0 {
+			ri++
+			continue
+		}
+		for ai < len(added) && rowCompare(added[ai], row) < 0 {
+			out = append(out, added[ai]...)
+			ai++
+		}
+		out = append(out, row...)
+	}
+	for ; ai < len(added); ai++ {
+		out = append(out, added[ai]...)
+	}
+	return out
+}
+
+// rowCompare orders two equal-arity rows lexicographically.
+//
+//dyncq:hot
+func rowCompare(a, b []Value) int {
+	for k := range a {
+		if a[k] != b[k] {
+			if a[k] < b[k] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// sortFlatRows sorts the rows of a flat row-major buffer in
+// lexicographic order, in place — the canonical snapshot order of the
+// non-core strategies.
+func sortFlatRows(flat []Value, arity int) {
+	if arity <= 0 || len(flat) <= arity {
+		return
+	}
+	sort.Sort(&flatRowSorter{flat: flat, arity: arity, tmp: make([]Value, arity)})
+}
+
+type flatRowSorter struct {
+	flat  []Value
+	arity int
+	tmp   []Value
+}
+
+func (s *flatRowSorter) Len() int { return len(s.flat) / s.arity }
+
+func (s *flatRowSorter) Less(i, j int) bool {
+	return rowCompare(s.flat[i*s.arity:(i+1)*s.arity], s.flat[j*s.arity:(j+1)*s.arity]) < 0
+}
+
+func (s *flatRowSorter) Swap(i, j int) {
+	a := s.flat[i*s.arity : (i+1)*s.arity]
+	b := s.flat[j*s.arity : (j+1)*s.arity]
+	copy(s.tmp, a)
+	copy(a, b)
+	copy(b, s.tmp)
+}

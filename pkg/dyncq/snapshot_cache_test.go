@@ -1,0 +1,391 @@
+package dyncq
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"dyncq/internal/cq"
+	"dyncq/internal/dyndb"
+	"dyncq/internal/workload"
+)
+
+// snapshotsIdentical asserts two snapshots of the same query at the
+// same version are byte-identical: same header, same rows, same order.
+func snapshotsIdentical(t *testing.T, got, want *QuerySnapshot, where string) {
+	t.Helper()
+	if got.Version() != want.Version() {
+		t.Fatalf("%s: version %d vs %d", where, got.Version(), want.Version())
+	}
+	if got.Len() != want.Len() || got.Arity() != want.Arity() {
+		t.Fatalf("%s: shape (%d,%d) vs (%d,%d)", where, got.Len(), got.Arity(), want.Len(), want.Arity())
+	}
+	if len(got.flat) != len(want.flat) {
+		t.Fatalf("%s: flat length %d vs %d", where, len(got.flat), len(want.flat))
+	}
+	for i := range got.flat {
+		if got.flat[i] != want.flat[i] {
+			row := i / got.Arity()
+			t.Fatalf("%s: row %d differs: %v vs %v", where, row, got.Tuple(row), want.Tuple(row))
+		}
+	}
+}
+
+// TestSnapshotAdvanceMatchesFreshPin: a cache advanced commit-by-commit
+// (delta patch or rebuild, whichever the crossover picks) is
+// byte-identical at EVERY version of a seeded stream to a fresh
+// copy-on-pin snapshot at that version — for all three strategies, with
+// and without a delta capture feeding the patch path, across single
+// updates, batches, and a mid-stream Load.
+func TestSnapshotAdvanceMatchesFreshPin(t *testing.T) {
+	for _, force := range []Strategy{StrategyCore, StrategyIVM, StrategyRecompute} {
+		for _, capture := range []bool{true, false} {
+			name := force.String()
+			if capture {
+				name += "/capture"
+			}
+			t.Run(name, func(t *testing.T) {
+				rng := rand.New(rand.NewSource(1031))
+				ws := NewWorkspace(WorkspaceOptions{})
+				q := cq.MustParse("Q(x,y) :- E(x,y), T(y)")
+				// Two registrations of the same query over the shared
+				// store: "adv" keeps its cache alive across every commit
+				// (pinned each version, so the advance path maintains
+				// it); "fresh" is evicted before each pin, forcing the
+				// copy-on-pin materialisation the cache replaces.
+				adv, err := ws.RegisterQuery("adv", q, Options{Force: force})
+				if err != nil {
+					t.Fatal(err)
+				}
+				fresh, err := ws.RegisterQuery("fresh", q, Options{Force: force})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if capture {
+					if err := ws.CaptureDeltas("adv", func(DeltaEvent) {}); err != nil {
+						t.Fatal(err)
+					}
+				}
+				adv.Snapshot() // prime the cache at the empty version
+
+				check := func(where string) {
+					t.Helper()
+					fresh.EvictSnapshot()
+					want := fresh.Snapshot()
+					got := adv.Snapshot()
+					if got2 := adv.CachedSnapshot(); got2 != got {
+						t.Fatalf("%s: cache not stable across pins", where)
+					}
+					// Different handles, same query, same stream: the
+					// maintained results must agree row for row (core
+					// order is a function of the shared update history;
+					// the other strategies are canonically sorted).
+					if got.Name() != "adv" || want.Name() != "fresh" {
+						t.Fatalf("%s: names %q/%q", where, got.Name(), want.Name())
+					}
+					got = &QuerySnapshot{name: "q", version: got.version, epoch: got.epoch,
+						card: got.card, adom: got.adom, arity: got.arity, n: got.n, flat: got.flat}
+					want = &QuerySnapshot{name: "q", version: want.version, epoch: want.epoch,
+						card: want.card, adom: want.adom, arity: want.arity, n: want.n, flat: want.flat}
+					snapshotsIdentical(t, got, want, where)
+				}
+
+				stream := workload.RandomStream(rng, q.Schema(), 12, 160, 0.35)
+				for i, u := range stream[:60] {
+					if _, err := ws.Apply(u); err != nil {
+						t.Fatal(err)
+					}
+					check("single update " + string(rune('0'+i%10)))
+				}
+				for i := 60; i+20 <= len(stream); i += 20 {
+					if _, err := ws.ApplyBatch(stream[i : i+20]); err != nil {
+						t.Fatal(err)
+					}
+					check("batch")
+				}
+				db := dyndb.New()
+				for _, u := range []Update{
+					dyndb.Insert("E", 1, 2), dyndb.Insert("E", 7, 2), dyndb.Insert("T", 2),
+				} {
+					if _, err := db.Apply(u); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if err := ws.Load(db); err != nil {
+					t.Fatal(err)
+				}
+				check("after Load")
+				for _, u := range workload.RandomStream(rng, q.Schema(), 12, 40, 0.3) {
+					if _, err := ws.Apply(u); err != nil {
+						t.Fatal(err)
+					}
+					check("post-Load update")
+				}
+
+				st := adv.SnapshotCacheStats()
+				if st.Hits == 0 {
+					t.Fatal("advancing cache never served a hit")
+				}
+				if capture && force != StrategyCore && st.Patched == 0 {
+					t.Fatalf("capture-fed %s cache never took the delta-patch path: %+v", force, st)
+				}
+				if force == StrategyCore && st.Patched > 0 {
+					// Core results here have arity 2; only arity-0
+					// header refreshes may count as patches for core.
+					t.Fatalf("core cache claims delta patches: %+v", st)
+				}
+			})
+		}
+	}
+}
+
+// TestSnapshotRePinZeroAlloc: re-pinning an unchanged version is one
+// pointer load — zero allocations, zero enumeration, same shared
+// snapshot, hit counter advancing.
+func TestSnapshotRePinZeroAlloc(t *testing.T) {
+	ws := NewWorkspace(WorkspaceOptions{})
+	h, err := ws.Register("q", "Q(x,y) :- E(x,y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	if _, err := ws.ApplyBatch(workload.RandomStream(rng, map[string]int{"E": 2}, 40, 500, 0.1)); err != nil {
+		t.Fatal(err)
+	}
+	s0 := h.Snapshot()
+	before := h.SnapshotCacheStats()
+	var s *QuerySnapshot
+	if n := testing.AllocsPerRun(200, func() { s = h.Snapshot() }); n != 0 {
+		t.Fatalf("re-pin allocates %.1f per op, want 0", n)
+	}
+	if s != s0 {
+		t.Fatal("re-pin returned a different snapshot than the cached one")
+	}
+	after := h.SnapshotCacheStats()
+	if after.Misses != before.Misses {
+		t.Fatalf("re-pin materialised: misses %d -> %d", before.Misses, after.Misses)
+	}
+	if after.Hits <= before.Hits {
+		t.Fatalf("hit counter did not advance: %d -> %d", before.Hits, after.Hits)
+	}
+}
+
+// TestSnapshotDemandDecay: a cache that stops being pinned is dropped
+// after snapDemandGrace commits instead of taxing every commit forever,
+// and the next pin re-materialises.
+func TestSnapshotDemandDecay(t *testing.T) {
+	ws := NewWorkspace(WorkspaceOptions{})
+	h, err := ws.Register("q", "Q(x,y) :- E(x,y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Snapshot()
+	for i := 0; i < snapDemandGrace; i++ {
+		if _, err := ws.Apply(dyndb.Insert("E", Value(i), Value(i))); err != nil {
+			t.Fatal(err)
+		}
+		if h.snap.Load() == nil {
+			t.Fatalf("cache dropped after %d commits, grace is %d", i+1, snapDemandGrace)
+		}
+	}
+	if _, err := ws.Apply(dyndb.Insert("E", 999, 999)); err != nil {
+		t.Fatal(err)
+	}
+	if h.snap.Load() != nil {
+		t.Fatal("cache survived past the demand grace with no pins")
+	}
+	if st := h.SnapshotCacheStats(); st.Invalidated == 0 {
+		t.Fatalf("decay not counted as invalidation: %+v", st)
+	}
+	s := h.Snapshot() // re-pin re-materialises and re-arms
+	if s == nil || s.Version() != ws.Version() {
+		t.Fatal("re-pin after decay did not materialise a current snapshot")
+	}
+}
+
+// TestSnapshotUnregisterInvalidates: Unregister drops the cache so a
+// re-registered name can never be served a stale buffer.
+func TestSnapshotUnregisterInvalidates(t *testing.T) {
+	ws := NewWorkspace(WorkspaceOptions{})
+	h, err := ws.Register("q", "Q(x) :- S(x)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ws.Apply(dyndb.Insert("S", 1)); err != nil {
+		t.Fatal(err)
+	}
+	h.Snapshot()
+	if !ws.Unregister("q") {
+		t.Fatal("unregister failed")
+	}
+	if h.snap.Load() != nil {
+		t.Fatal("unregistered handle still holds a cached snapshot")
+	}
+	h2, err := ws.Register("q", "Q(x) :- T(x)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h2.Snapshot(); got.Len() != 0 {
+		t.Fatalf("re-registered query sees %d stale tuples", got.Len())
+	}
+}
+
+// TestSnapshotPinRace: N goroutines pinning (mixing the lock-free probe
+// and the full pin) while a writer commits. Every pinned snapshot must
+// be internally consistent and at a version the workspace actually
+// reached; run under -race this also proves the fast path publishes
+// safely.
+func TestSnapshotPinRace(t *testing.T) {
+	ws := NewWorkspace(WorkspaceOptions{})
+	h, err := ws.Register("q", "Q(x,y) :- E(x,y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		pinners = 8
+		commits = 400
+	)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for p := 0; p < pinners; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for !stop.Load() {
+				var s *QuerySnapshot
+				if p%2 == 0 {
+					s = h.Snapshot()
+				} else if s = h.CachedSnapshot(); s == nil {
+					continue
+				}
+				if len(s.flat) != s.Len()*s.Arity() {
+					t.Errorf("pinned snapshot shape broken: n=%d arity=%d flat=%d", s.Len(), s.Arity(), len(s.flat))
+					return
+				}
+				for i := 0; i < s.Len(); i++ {
+					if tup := s.Tuple(i); len(tup) != 2 {
+						t.Errorf("tuple %d has arity %d", i, len(tup))
+						return
+					}
+				}
+				if v := s.Version(); v > ws.Version() {
+					t.Errorf("snapshot version %d ahead of workspace", v)
+					return
+				}
+			}
+		}(p)
+	}
+	rng := rand.New(rand.NewSource(99))
+	for _, u := range workload.RandomStream(rng, map[string]int{"E": 2}, 25, commits, 0.3) {
+		if _, err := ws.Apply(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+}
+
+// TestPatchSortedFlat: the merge patch against a brute-force reference
+// (apply delta to row set, re-sort) over randomized cases.
+func TestPatchSortedFlat(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 300; iter++ {
+		arity := 1 + rng.Intn(3)
+		rows := map[string][]Value{}
+		for i, n := 0, rng.Intn(30); i < n; i++ {
+			row := make([]Value, arity)
+			for k := range row {
+				row[k] = Value(rng.Intn(8))
+			}
+			rows[fmtRow(row)] = row
+		}
+		var prevRows, removed [][]Value
+		for _, r := range rows {
+			prevRows = append(prevRows, r)
+		}
+		sortTuplesLex(prevRows)
+		prev := make([]Value, 0, len(prevRows)*arity)
+		for _, r := range prevRows {
+			prev = append(prev, r...)
+		}
+		var added [][]Value
+		for _, r := range prevRows {
+			if rng.Float64() < 0.3 {
+				removed = append(removed, r)
+				delete(rows, fmtRow(r))
+			}
+		}
+		for i, n := 0, rng.Intn(8); i < n; i++ {
+			row := make([]Value, arity)
+			for k := range row {
+				row[k] = Value(8 + rng.Intn(8)) // disjoint domain: Added ∩ prev = ∅
+			}
+			if _, dup := rows[fmtRow(row)]; dup {
+				continue
+			}
+			rows[fmtRow(row)] = row
+			added = append(added, row)
+		}
+		sortTuplesLex(added)
+		sortTuplesLex(removed)
+
+		got := patchSortedFlat(prev, arity, added, removed)
+		var wantRows [][]Value
+		for _, r := range rows {
+			wantRows = append(wantRows, r)
+		}
+		sortTuplesLex(wantRows)
+		want := make([]Value, 0, len(wantRows)*arity)
+		for _, r := range wantRows {
+			want = append(want, r...)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("iter %d: patched length %d, want %d", iter, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("iter %d: patched buffer diverges at %d", iter, i)
+			}
+		}
+		if cap(got) != len(want) {
+			t.Fatalf("iter %d: patch over-allocated: cap %d, want exactly %d", iter, cap(got), len(want))
+		}
+	}
+}
+
+func fmtRow(r []Value) string {
+	b := make([]byte, 0, len(r)*4)
+	for _, v := range r {
+		b = append(b, byte(v), ',')
+	}
+	return string(b)
+}
+
+// TestSnapshotTuplesSharesFlat: Tuples slices straight out of the flat
+// buffer — one slice-header array allocation, rows aliasing flat.
+func TestSnapshotTuplesSharesFlat(t *testing.T) {
+	ws := NewWorkspace(WorkspaceOptions{})
+	h, err := ws.Register("q", "Q(x,y) :- E(x,y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := ws.Apply(dyndb.Insert("E", Value(i), Value(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := h.Snapshot()
+	rows := s.Tuples()
+	if len(rows) != s.Len() {
+		t.Fatalf("Tuples returned %d rows, want %d", len(rows), s.Len())
+	}
+	for i, row := range rows {
+		if &row[0] != &s.flat[i*s.arity] {
+			t.Fatalf("row %d does not alias the flat buffer", i)
+		}
+		if cap(row) != s.arity {
+			t.Fatalf("row %d capacity %d leaks past its row (arity %d)", i, cap(row), s.arity)
+		}
+	}
+}

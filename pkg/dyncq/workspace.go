@@ -118,7 +118,12 @@ type Workspace struct {
 	handles  map[string]*Handle
 	order    []*Handle // registration order
 	workers  int
-	version  uint64
+
+	// version counts committed state changes. It is atomic so the
+	// cached-snapshot fast path (Handle.CachedSnapshot) can validate a
+	// pinned version without the read lock; it only ever advances with
+	// exclusive access to the workspace.
+	version atomic.Uint64
 }
 
 // NewWorkspace returns an empty workspace with no registered queries.
@@ -169,6 +174,29 @@ type Handle struct {
 	// capture is the active delta export (CaptureDeltas), nil while no
 	// subscriber wants this query's per-commit deltas.
 	capture *deltaCapture
+
+	// snap is the version-keyed cached snapshot (snapshot_cache.go): the
+	// latest materialised QuerySnapshot, shared by every pinner at its
+	// version. nil until a reader pins, and again after the demand-decay
+	// invalidation. The pointer only moves with the workspace write lock
+	// held or under the read lock (slow-path pin, where writers are
+	// excluded), which is what makes the lock-free fast path's
+	// pointer-then-version load order linearizable.
+	snap atomic.Pointer[QuerySnapshot]
+
+	// demand is the cache keep-alive countdown: every pin rearms it to
+	// snapDemandGrace, every commit decrements it, and when it runs out
+	// the commit invalidates the cache instead of advancing it — a
+	// write-only stream stops paying the O(|result|) advance after a
+	// bounded number of commits per past pin.
+	demand atomic.Int32
+
+	// Cache observability (SnapshotCacheStats).
+	snapHits        atomic.Uint64
+	snapMisses      atomic.Uint64
+	snapPatched     atomic.Uint64
+	snapRebuilt     atomic.Uint64
+	snapInvalidated atomic.Uint64
 }
 
 // Name returns the registration name.
@@ -356,6 +384,8 @@ func (w *Workspace) Unregister(name string) bool {
 		return false
 	}
 	h.capture = nil // no further delta events for a dropped query
+	h.snap.Store(nil)
+	h.snapInvalidated.Add(1) // a dropped query's cache must never serve a re-registered name
 	delete(w.handles, name)
 	for i, o := range w.order {
 		if o == h {
@@ -461,7 +491,7 @@ func (w *Workspace) Schema() map[string]int {
 func (w *Workspace) Version() uint64 {
 	w.mu.RLock()
 	defer w.mu.RUnlock()
-	return w.version
+	return w.version.Load()
 }
 
 // Cardinality returns |D| of the shared store.
@@ -626,8 +656,8 @@ func (w *Workspace) applyExclusive(u Update) (bool, error) {
 	for _, h := range w.order {
 		h.back.postApplyOne(u)
 	}
-	w.version++
-	w.captureDeltasLocked()
+	w.version.Add(1)
+	w.afterCommitLocked()
 	return true, nil
 }
 
@@ -718,8 +748,8 @@ func (w *Workspace) applyBatchExclusive(updates []Update) (int, error) {
 		h.maintainNS += perNS[i]
 		h.batches++
 	}
-	w.version++
-	w.captureDeltasLocked()
+	w.version.Add(1)
+	w.afterCommitLocked()
 	return len(survivors), nil
 }
 
@@ -892,7 +922,7 @@ func (w *Workspace) Load(db *Database) error {
 }
 
 func (w *Workspace) loadExclusive(db *dyndb.Database) error {
-	w.version++
+	w.version.Add(1)
 	fail := func(err error) error {
 		w.store.Clear()
 		w.resetIdxLocked()
@@ -901,7 +931,7 @@ func (w *Workspace) loadExclusive(db *dyndb.Database) error {
 		}
 		// The version advanced and the state changed (to empty):
 		// subscribers get their per-version event either way.
-		w.captureDeltasLocked()
+		w.afterCommitLocked()
 		return err
 	}
 	for _, rel := range db.Relations() {
@@ -941,7 +971,7 @@ func (w *Workspace) loadExclusive(db *dyndb.Database) error {
 	if err := w.rebuildFanOut(fail); err != nil {
 		return err // fail() already delivered the capture events
 	}
-	w.captureDeltasLocked()
+	w.afterCommitLocked()
 	return nil
 }
 

@@ -391,8 +391,8 @@ func TestWorkspaceView(t *testing.T) {
 		t.Fatal(err)
 	}
 	ws.View(func(v *WorkspaceView) {
-		if v.Version() != ws.version {
-			t.Fatalf("view version %d, workspace %d", v.Version(), ws.version)
+		if v.Version() != ws.version.Load() {
+			t.Fatalf("view version %d, workspace %d", v.Version(), ws.version.Load())
 		}
 		for _, c := range multiSuite() {
 			if v.Count(c.name) != uint64(len(v.Tuples(c.name))) {
